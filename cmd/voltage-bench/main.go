@@ -1,0 +1,249 @@
+// Command voltage-bench regenerates the paper's evaluation: Figures 4, 5
+// and 6 plus the in-text communication-volume and theorem-verification
+// tables, in predicted (analytic cost model, full paper scale) and/or
+// measured (real execution on the emulated cluster) mode.
+//
+// Usage:
+//
+//	voltage-bench -experiment all                 # everything, predicted
+//	voltage-bench -experiment fig4 -mode both     # Fig. 4 predicted + measured
+//	voltage-bench -experiment fig6 -mode measured # attention speed-up timings
+//	voltage-bench -experiment comm                # Table A (comm volume)
+//	voltage-bench -experiment theorems            # Table B (Theorem 2 sweep)
+//	voltage-bench -experiment breakdown -mode measured  # compute/comm split
+//	voltage-bench -experiment pipeline  -mode measured  # pipeline batch study
+//	voltage-bench -experiment quantized -mode measured  # int8 gathers ablation
+//
+// Measured mode executes real transformer math with this repository's Go
+// kernels; -layers scales the stack depth so full-width models stay
+// tractable (per-layer behaviour, which the figures show, is unchanged).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"voltage/internal/harness"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "voltage-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	experiment string
+	mode       string
+	models     string
+	format     string
+	maxK       int
+	layers     int
+	bandwidth  float64
+	seed       int64
+	timeout    time.Duration
+	calibrate  bool
+	cal        harness.Calibration
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("voltage-bench", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.experiment, "experiment", "all", "fig4 | fig5 | fig6 | comm | theorems | all")
+	fs.StringVar(&o.mode, "mode", "predicted", "predicted | measured | both")
+	fs.StringVar(&o.models, "models", "bert,vit,gpt2", "comma-separated model presets")
+	fs.StringVar(&o.format, "format", "markdown", "markdown | csv")
+	fs.IntVar(&o.maxK, "maxk", 6, "maximum device count")
+	fs.IntVar(&o.layers, "layers", 2, "stack depth for measured mode (0 = full paper depth)")
+	fs.Float64Var(&o.bandwidth, "bandwidth", 500, "default bandwidth in Mbps")
+	fs.Int64Var(&o.seed, "seed", 1, "weight seed")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Minute, "measured-mode time budget")
+	fs.BoolVar(&o.calibrate, "calibrate", true,
+		"measured mode: rescale bandwidth by this host's kernel speed so the paper's compute:comm balance holds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.calibrate && o.measured() {
+		o.cal = harness.Calibrate(o.maxK)
+		fmt.Fprintf(w, "calibration: emulated device rate %.2f GMAC/s, bandwidth scale %.4f "+
+			"(emulated \"500 Mbps\" runs at %.1f Mbps to preserve the paper's compute:comm balance)\n\n",
+			o.cal.DeviceFlops/1e9, o.cal.BwScale, 500*o.cal.BwScale)
+	}
+
+	models, err := parseModels(o.models)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+
+	experiments := strings.Split(o.experiment, ",")
+	if o.experiment == "all" {
+		experiments = []string{"fig4", "fig5", "fig6", "comm", "theorems"}
+	}
+	for _, exp := range experiments {
+		if err := runExperiment(ctx, w, strings.TrimSpace(exp), models, o); err != nil {
+			return fmt.Errorf("%s: %w", exp, err)
+		}
+	}
+	return nil
+}
+
+func parseModels(s string) ([]model.Config, error) {
+	var out []model.Config
+	for _, name := range strings.Split(s, ",") {
+		cfg, err := model.Presets(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+func (o options) predicted() bool { return o.mode == "predicted" || o.mode == "both" }
+func (o options) measured() bool  { return o.mode == "measured" || o.mode == "both" }
+
+// measuredConfig depth-scales a preset for tractable pure-Go execution.
+func (o options) measuredConfig(cfg model.Config) model.Config {
+	if o.layers > 0 {
+		return cfg.Scaled(o.layers)
+	}
+	return cfg
+}
+
+func emit(w io.Writer, format string, t harness.Table) error {
+	if format == "csv" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+		return t.WriteCSV(w)
+	}
+	return t.WriteMarkdown(w)
+}
+
+func runExperiment(ctx context.Context, w io.Writer, exp string, models []model.Config, o options) error {
+	profile := netem.Profile{BandwidthMbps: o.bandwidth, Latency: 200 * time.Microsecond}
+	switch exp {
+	case "fig4":
+		for _, cfg := range models {
+			if o.predicted() {
+				rows, err := harness.Fig4Predicted(cfg, o.maxK, o.bandwidth)
+				if err != nil {
+					return err
+				}
+				title := fmt.Sprintf("Fig. 4 predicted — %s, latency vs device count @%.0f Mbps", cfg.Name, o.bandwidth)
+				if err := emit(w, o.format, harness.Fig4Table(title, rows)); err != nil {
+					return err
+				}
+			}
+			if o.measured() {
+				mc := o.measuredConfig(cfg)
+				rows, err := harness.Fig4Measured(ctx, mc, o.maxK, profile, o.cal, o.seed)
+				if err != nil {
+					return err
+				}
+				title := fmt.Sprintf("Fig. 4 measured — %s (%d layers), latency vs device count @%.0f Mbps",
+					cfg.Name, mc.Layers, o.bandwidth)
+				if err := emit(w, o.format, harness.Fig4Table(title, rows)); err != nil {
+					return err
+				}
+			}
+		}
+	case "fig5":
+		for _, cfg := range models {
+			if o.predicted() {
+				rows, err := harness.Fig5Predicted(cfg, o.maxK, harness.DefaultBandwidths)
+				if err != nil {
+					return err
+				}
+				title := fmt.Sprintf("Fig. 5 predicted — %s, latency vs bandwidth @K=%d", cfg.Name, o.maxK)
+				if err := emit(w, o.format, harness.Fig5Table(title, rows)); err != nil {
+					return err
+				}
+			}
+			if o.measured() {
+				mc := o.measuredConfig(cfg)
+				rows, err := harness.Fig5Measured(ctx, mc, o.maxK, harness.DefaultBandwidths, o.cal, o.seed)
+				if err != nil {
+					return err
+				}
+				title := fmt.Sprintf("Fig. 5 measured — %s (%d layers), latency vs bandwidth @K=%d",
+					cfg.Name, mc.Layers, o.maxK)
+				if err := emit(w, o.format, harness.Fig5Table(title, rows)); err != nil {
+					return err
+				}
+			}
+		}
+	case "fig6":
+		maxK := 10
+		if o.predicted() {
+			rows := harness.Fig6Predicted(harness.DefaultFig6Settings, harness.DefaultFig6Lengths, maxK)
+			if err := emit(w, o.format, harness.Fig6Table("Fig. 6 predicted — attention partition speed-up", rows)); err != nil {
+				return err
+			}
+		}
+		if o.measured() {
+			rows, err := harness.Fig6Measured(harness.DefaultFig6Settings, harness.DefaultFig6Lengths, maxK, o.seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(w, o.format, harness.Fig6Table("Fig. 6 measured — attention partition speed-up", rows)); err != nil {
+				return err
+			}
+		}
+	case "comm":
+		// Communication volume is scale-independent per layer; a tiny
+		// model measures it exactly.
+		rows, err := harness.CommVolume(ctx, model.Tiny(), o.maxK, o.seed)
+		if err != nil {
+			return err
+		}
+		return emit(w, o.format, harness.CommTable(
+			"Table A — per-inference worker traffic (Voltage vs tensor parallelism)", rows))
+	case "theorems":
+		rep := harness.VerifyTheorems(300)
+		return emit(w, o.format, harness.TheoremTable(
+			"Table B — Theorem 2 predicate vs brute-force optimum", rep))
+	case "breakdown":
+		// Extension: measured compute/comm split per strategy.
+		mc := o.measuredConfig(models[0])
+		rows, err := harness.BreakdownMeasured(ctx, mc, o.maxK, profile, o.cal, o.seed)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Breakdown — %s (%d layers), K=%d @%.0f Mbps: where the time goes",
+			mc.Name, mc.Layers, o.maxK, o.bandwidth)
+		return emit(w, o.format, harness.BreakdownTable(title, rows))
+	case "pipeline":
+		// Extension: pipeline parallelism's throughput-vs-latency trade.
+		mc := o.measuredConfig(models[0])
+		rows, err := harness.PipelineMeasured(ctx, mc, o.maxK, []int{1, 2, 4, 8}, o.cal, o.seed)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Pipeline parallelism — %s (%d layers), K=%d: batch-1 latency never improves",
+			mc.Name, mc.Layers, o.maxK)
+		return emit(w, o.format, harness.PipelineTable(title, rows))
+	case "quantized":
+		// Extension: int8 All-Gather payloads (the paper's future work).
+		mc := o.measuredConfig(models[0])
+		rows, err := harness.QuantizedCommMeasured(ctx, mc, o.maxK, harness.DefaultBandwidths, o.cal, o.seed)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Quantized communication — %s (%d layers), K=%d", mc.Name, mc.Layers, o.maxK)
+		return emit(w, o.format, harness.QuantTable(title, rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchPredictedFig4(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "fig4", "-models", "gpt2", "-maxk", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 4 predicted — gpt2") {
+		t.Fatalf("missing fig4 title:\n%s", out)
+	}
+	if !strings.Contains(out, "| gpt2 | 3 |") {
+		t.Fatalf("missing K=3 row:\n%s", out)
+	}
+}
+
+func TestBenchPredictedAll(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "all", "-models", "tiny", "-maxk", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 4", "Fig. 5", "Fig. 6", "Table A", "Table B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in all-experiment output", want)
+		}
+	}
+}
+
+func TestBenchCSVFormat(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "comm", "-maxk", "3", "-format", "csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "K,voltage-bytes,tp-bytes") {
+		t.Fatalf("csv header missing:\n%s", sb.String())
+	}
+}
+
+func TestBenchMeasuredTinyFig4(t *testing.T) {
+	var sb strings.Builder
+	// -calibrate=false keeps the tiny measured run fast and deterministic.
+	err := run([]string{"-experiment", "fig4", "-mode", "measured", "-models", "tiny",
+		"-maxk", "2", "-calibrate=false"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 4 measured — tiny") {
+		t.Fatalf("missing measured title:\n%s", sb.String())
+	}
+}
+
+func TestBenchTheorems(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "theorems"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| 0 |") { // zero predicate errors
+		t.Fatalf("theorem sweep reported errors:\n%s", out)
+	}
+}
+
+func TestBenchExtensions(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "breakdown,pipeline,quantized", "-mode", "measured",
+		"-models", "tiny", "-maxk", "2", "-calibrate=false"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Breakdown", "Pipeline parallelism", "Quantized communication"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "bogus"}, &sb); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+	if err := run([]string{"-models", "bogus"}, &sb); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+	if err := run([]string{"-no-such-flag"}, &sb); err == nil {
+		t.Fatal("want error for bad flag")
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	ms, err := parseModels("bert, gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[1].Name != "gpt2" {
+		t.Fatalf("parseModels = %v", ms)
+	}
+}

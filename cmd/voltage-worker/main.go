@@ -1,0 +1,271 @@
+// Command voltage-worker runs a genuinely distributed Voltage deployment
+// across processes (or machines): every device runs one process, the
+// processes assemble a TCP mesh from a shared address list, and the
+// terminal process drives inference requests through the worker pool with
+// Algorithm 2.
+//
+// Start K workers and one terminal, all with the same -addrs list (worker
+// ranks 0..K-1, terminal last):
+//
+//	voltage-worker -rank 0 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	voltage-worker -rank 1 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	voltage-worker -rank 2 -terminal -words 200 \
+//	    -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// Every process materializes identical model weights from -seed, so no
+// weights cross the network — only activations, exactly as in the paper.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"voltage/internal/comm"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+	"voltage/internal/tokenizer"
+	"voltage/internal/tparallel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "voltage-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("voltage-worker", flag.ContinueOnError)
+	rank := fs.Int("rank", 0, "this process's rank in the address list")
+	addrList := fs.String("addrs", "", "comma-separated host:port list; last entry is the terminal")
+	terminal := fs.Bool("terminal", false, "run as the terminal device (must be the last rank)")
+	modelName := fs.String("model", "bert", "model preset")
+	layers := fs.Int("layers", 2, "stack depth (0 = full paper depth)")
+	seed := fs.Int64("seed", 1, "shared weight seed")
+	strategy := fs.String("strategy", "voltage", "voltage | tensor-parallel | single")
+	text := fs.String("text", "", "input text (terminal only)")
+	words := fs.Int("words", 200, "synthetic word count when -text is empty")
+	requests := fs.Int("requests", 1, "number of inference requests (terminal only)")
+	bandwidth := fs.Float64("bandwidth", 0, "egress shaping in Mbps (0 = unshaped)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "mesh formation + serving budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*addrList, ",")
+	if len(addrs) < 2 {
+		return fmt.Errorf("need at least one worker and one terminal in -addrs")
+	}
+	cfg, err := model.Presets(*modelName)
+	if err != nil {
+		return err
+	}
+	if *layers > 0 {
+		cfg = cfg.Scaled(*layers)
+	}
+	if *terminal && *rank != len(addrs)-1 {
+		return fmt.Errorf("terminal must be the last rank (%d)", len(addrs)-1)
+	}
+
+	tensor.SetWorkers(1) // single-CPU device emulation
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	profile := netem.Profile{BandwidthMbps: *bandwidth}
+	peer, err := comm.NewTCPMesh(ctx, *rank, addrs, profile)
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+
+	k := len(addrs) - 1
+	if *terminal {
+		return runTerminal(ctx, w, peer, cfg, k, *strategy, *seed, *text, *words, *requests)
+	}
+	return runWorker(ctx, w, peer, cfg, k, *rank, *strategy, *seed)
+}
+
+// runWorker serves layer computations under the chosen strategy until the
+// terminal sends an empty shutdown frame.
+func runWorker(ctx context.Context, w io.Writer, peer comm.Peer, cfg model.Config, k, rank int, strategy string, seed int64) error {
+	m, err := model.NewRandom(cfg, seed)
+	if err != nil {
+		return err
+	}
+	scheme, err := partition.Even(k)
+	if err != nil {
+		return err
+	}
+	members := make([]int, k)
+	for i := range members {
+		members[i] = i
+	}
+	group, err := comm.NewSubgroup(peer, members)
+	if err != nil {
+		return err
+	}
+	var shards []*tparallel.ShardedLayer
+	if strategy == "tensor-parallel" || strategy == "tp" {
+		if shards, err = tparallel.ShardModel(m, rank, k); err != nil {
+			return err
+		}
+	}
+	term := k
+	fmt.Fprintf(w, "worker %d ready (%s, %d layers, %s)\n", rank, cfg.Name, cfg.Layers, strategy)
+	for {
+		blob, err := peer.Recv(ctx, term)
+		if err != nil {
+			return err
+		}
+		if len(blob) == 0 {
+			fmt.Fprintf(w, "worker %d shutting down\n", rank)
+			return nil
+		}
+		x, _, err := tensor.Decode(blob)
+		if err != nil {
+			return err
+		}
+		switch strategy {
+		case "single":
+			if rank != 0 {
+				continue
+			}
+			out, err := m.ForwardFeatures(x)
+			if err != nil {
+				return err
+			}
+			if err := peer.Send(ctx, term, tensor.Encode(nil, out)); err != nil {
+				return err
+			}
+		case "tensor-parallel", "tp":
+			cur := x
+			for li, shard := range shards {
+				out, err := shard.Forward(ctx, group, cur, true)
+				if err != nil {
+					return fmt.Errorf("layer %d: %w", li, err)
+				}
+				cur = out
+			}
+			if rank == 0 {
+				if err := peer.Send(ctx, term, tensor.Encode(nil, cur)); err != nil {
+					return err
+				}
+			}
+		default: // voltage
+			ranges, err := scheme.Ranges(x.Rows())
+			if err != nil {
+				return err
+			}
+			for li, layer := range m.Layers {
+				part, _, err := layer.ForwardPartition(x, ranges[rank])
+				if err != nil {
+					return fmt.Errorf("layer %d: %w", li, err)
+				}
+				if li == len(m.Layers)-1 {
+					if err := peer.Send(ctx, term, tensor.Encode(nil, part)); err != nil {
+						return err
+					}
+					break
+				}
+				x, err = comm.AllGatherMatrix(ctx, group, part, ranges, false)
+				if err != nil {
+					return fmt.Errorf("layer %d allgather: %w", li, err)
+				}
+			}
+		}
+	}
+}
+
+// runTerminal drives requests: pre-process, broadcast, collect, classify.
+func runTerminal(ctx context.Context, w io.Writer, peer comm.Peer, cfg model.Config,
+	k int, strategy string, seed int64, text string, words, requests int) error {
+	m, err := model.NewRandom(cfg, seed)
+	if err != nil {
+		return err
+	}
+	scheme, err := partition.Even(k)
+	if err != nil {
+		return err
+	}
+	tok, err := tokenizer.New(cfg.VocabSize)
+	if err != nil {
+		return err
+	}
+	var ids []int
+	if text != "" {
+		ids = tok.Encode(text)
+	} else {
+		n := words
+		if n+2 > cfg.MaxSeq {
+			n = cfg.MaxSeq - 2
+		}
+		ids = tok.EncodeWords(n, 7)
+	}
+	for req := 0; req < requests; req++ {
+		x, err := m.Embed.EmbedTokens(ids)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		blob := tensor.Encode(nil, x)
+		for r := 0; r < k; r++ {
+			if err := peer.Send(ctx, r, blob); err != nil {
+				return err
+			}
+		}
+		var out *tensor.Matrix
+		switch strategy {
+		case "single", "tensor-parallel", "tp":
+			// A single reporter (worker 0) returns the full output.
+			got, err := peer.Recv(ctx, 0)
+			if err != nil {
+				return err
+			}
+			if out, _, err = tensor.Decode(got); err != nil {
+				return err
+			}
+		default: // voltage: assemble partitions in rank order
+			ranges, err := scheme.Ranges(x.Rows())
+			if err != nil {
+				return err
+			}
+			out = tensor.New(x.Rows(), x.Cols())
+			for r := 0; r < k; r++ {
+				got, err := peer.Recv(ctx, r)
+				if err != nil {
+					return err
+				}
+				part, _, err := tensor.Decode(got)
+				if err != nil {
+					return err
+				}
+				if ranges[r].Empty() {
+					continue
+				}
+				if err := out.SetRowSlice(ranges[r].From, part); err != nil {
+					return err
+				}
+			}
+		}
+		latency := time.Since(start)
+		class, err := m.Classifier.Predict(out)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "request %d: class=%d latency=%v N=%d K=%d\n",
+			req, class, latency.Round(time.Millisecond), x.Rows(), k)
+	}
+	// Shutdown: empty frame to every worker.
+	for r := 0; r < k; r++ {
+		if err := peer.Send(ctx, r, []byte{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Bandwidth study (the paper's Fig. 5): fix the cluster at K devices and
+// sweep the emulated link bandwidth, comparing Voltage against tensor
+// parallelism and the single-device reference. At edge bandwidths tensor
+// parallelism's two All-Reduces per layer dominate; Voltage's single
+// All-Gather crosses below the single-device line much earlier.
+//
+// Run with:
+//
+//	go run ./examples/bandwidth
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"voltage"
+	"voltage/internal/tokenizer"
+)
+
+func main() {
+	k := flag.Int("k", 4, "number of edge devices")
+	layers := flag.Int("layers", 2, "stack depth")
+	flag.Parse()
+	if err := run(*k, *layers); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(k, layers int) error {
+	cfg := voltage.BERTLarge().Scaled(layers)
+
+	prev := voltage.SetComputeWorkers(1)
+	defer voltage.SetComputeWorkers(prev)
+
+	// Calibrate so the paper's compute:comm balance holds on this host;
+	// the printed bandwidths are paper-scale.
+	cal := voltage.Calibrate(k)
+	engine, err := voltage.NewEngine(cfg, k, voltage.ClusterOptions{
+		Profile:     cal.Apply(voltage.NetworkProfile{BandwidthMbps: 500, Latency: 200 * time.Microsecond}),
+		DeviceFlops: cal.DeviceFlops,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	tok, err := tokenizer.New(cfg.VocabSize)
+	if err != nil {
+		return err
+	}
+	ids := tok.EncodeWords(200, 11)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+
+	single, err := engine.ClassifyTokens(ctx, voltage.StrategySingle, ids)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single-device reference: %v\n\n", single.Run.Latency.Round(time.Millisecond))
+	fmt.Printf("%-10s %-14s %-14s\n", "Mbps", "voltage", "tensor-parallel")
+
+	for _, mbps := range []float64{200, 400, 600, 800, 1000} {
+		engine.Cluster().SetBandwidth(mbps * cal.BwScale)
+		v, err := engine.ClassifyTokens(ctx, voltage.StrategyVoltage, ids)
+		if err != nil {
+			return err
+		}
+		tp, err := engine.ClassifyTokens(ctx, voltage.StrategyTensorParallel, ids)
+		if err != nil {
+			return err
+		}
+		mark := " "
+		if v.Run.Latency < single.Run.Latency {
+			mark = "*" // beats single device
+		}
+		fmt.Printf("%-10.0f %-14v %-14v %s\n", mbps,
+			v.Run.Latency.Round(time.Millisecond), tp.Run.Latency.Round(time.Millisecond), mark)
+	}
+	fmt.Println("\n* = Voltage beats the single-device deployment at this bandwidth.")
+	return nil
+}

@@ -1,0 +1,103 @@
+// Autoregressive generation at the edge: a GPT-2-shaped causal decoder
+// produces tokens one by one, each forward pass distributed across the
+// cluster with Voltage. Causal masking composes with every attention
+// computation order, so the adaptive re-ordering of Theorem 2 applies to
+// decoders unchanged.
+//
+// Run with:
+//
+//	go run ./examples/generation
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"voltage"
+	"voltage/internal/tokenizer"
+)
+
+func main() {
+	layers := flag.Int("layers", 2, "GPT-2 stack depth (0 = full 12 layers)")
+	k := flag.Int("k", 3, "number of edge devices")
+	steps := flag.Int("steps", 6, "tokens to generate")
+	flag.Parse()
+	if err := run(*layers, *k, *steps); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(layers, k, steps int) error {
+	cfg := voltage.GPT2()
+	if layers > 0 {
+		cfg = cfg.Scaled(layers)
+	}
+
+	prev := voltage.SetComputeWorkers(1)
+	defer voltage.SetComputeWorkers(prev)
+
+	engine, err := voltage.NewEngine(cfg, k, voltage.ClusterOptions{
+		Profile: voltage.EdgeDefaultProfile,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	tok, err := tokenizer.New(cfg.VocabSize)
+	if err != nil {
+		return err
+	}
+	prompt := tok.Encode("the edge of the network is where inference happens")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	fmt.Printf("GPT-2 (%d layers) generating %d tokens over %d devices\n\n", cfg.Layers, steps, k)
+
+	// Distributed generation.
+	start := time.Now()
+	dist, err := engine.Generate(ctx, voltage.StrategyVoltage, prompt, steps)
+	if err != nil {
+		return err
+	}
+	distTime := time.Since(start)
+
+	// Single-device reference.
+	start = time.Now()
+	single, err := engine.Generate(ctx, voltage.StrategySingle, prompt, steps)
+	if err != nil {
+		return err
+	}
+	singleTime := time.Since(start)
+
+	fmt.Printf("voltage (K=%d): %v  tokens %v\n", k, distTime.Round(time.Millisecond), dist.Tokens[len(prompt):])
+	fmt.Printf("single device: %v  tokens %v\n", singleTime.Round(time.Millisecond), single.Tokens[len(prompt):])
+
+	for i := range dist.Tokens {
+		if dist.Tokens[i] != single.Tokens[i] {
+			return fmt.Errorf("decoding diverged at position %d", i)
+		}
+	}
+
+	// Distributed KV-cached decoding: one Voltage prefill, then each step
+	// ships only a token id out and one hidden row back.
+	cached, err := engine.GenerateCached(ctx, prompt, steps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kv-cached:     prefill %v + decode %v  tokens %v\n",
+		cached.PrefillLatency.Round(time.Millisecond),
+		cached.DecodeLatency.Round(time.Millisecond),
+		cached.Tokens[len(prompt):])
+	for i := range cached.Tokens {
+		if cached.Tokens[i] != single.Tokens[i] {
+			return fmt.Errorf("cached decoding diverged at position %d", i)
+		}
+	}
+	fmt.Println("\nAll three decodings are identical: distribution never changes model outputs.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module voltage
+
+go 1.22

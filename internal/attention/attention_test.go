@@ -1,0 +1,282 @@
+package attention
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"voltage/internal/flopcount"
+	"voltage/internal/tensor"
+)
+
+func randomHead(t testing.TB, seed int64, f, fh int) *HeadWeights {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	h, err := NewHeadWeights(rng.XavierNormal(f, fh), rng.XavierNormal(f, fh), rng.XavierNormal(f, fh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHeadWeightsShapeCheck(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	_, err := NewHeadWeights(rng.Normal(8, 2, 1), rng.Normal(8, 3, 1), rng.Normal(8, 2, 1))
+	if !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	h := randomHead(t, 1, 8, 2)
+	if h.F() != 8 || h.FH() != 2 {
+		t.Fatalf("F/FH = %d/%d", h.F(), h.FH())
+	}
+}
+
+func TestAllOrdersAgree(t *testing.T) {
+	// Every computation order is an algebraic rewrite of the same
+	// expression: outputs must agree within float tolerance. This is the
+	// central correctness property behind Section IV.
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		hNum := 1 + rng.Intn(4)
+		fh := 1 + rng.Intn(16)
+		fdim := hNum * fh
+		n := 2 + rng.Intn(30)
+		p := 1 + rng.Intn(n)
+		head := randomHead(t, seed+1, fdim, fh)
+		x := rng.Normal(n, fdim, 1)
+		xp, err := x.RowSlice(0, p)
+		if err != nil {
+			return false
+		}
+		ref, err := Compute(head, x, xp, flopcount.OrderNaive)
+		if err != nil {
+			return false
+		}
+		for _, o := range flopcount.AllOrders[1:] {
+			out, err := Compute(head, x, xp, o)
+			if err != nil {
+				t.Logf("order %v: %v", o, err)
+				return false
+			}
+			if !out.AlmostEqual(ref, 1e-3) {
+				d, _ := out.MaxAbsDiff(ref)
+				t.Logf("order %v differs from naive by %v (seed %d)", o, d, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputePartitionMatchesFullSlice(t *testing.T) {
+	// Ap(x) must equal the corresponding rows of the full A(x): computing
+	// a partition is exact, not an approximation.
+	rng := tensor.NewRNG(77)
+	head := randomHead(t, 78, 32, 8)
+	x := rng.Normal(20, 32, 1)
+	full, err := Compute(head, x, x, flopcount.OrderNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 5}, {5, 12}, {12, 20}} {
+		xp, err := x.RowSlice(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, order, err := ComputeAdaptive(head, x, xp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.RowSlice(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !part.AlmostEqual(want, 1e-3) {
+			t.Fatalf("partition [%d,%d) (order %v) differs from full output", r[0], r[1], order)
+		}
+	}
+}
+
+func TestComputeShapeErrors(t *testing.T) {
+	head := randomHead(t, 5, 16, 4)
+	rng := tensor.NewRNG(6)
+	x := rng.Normal(10, 16, 1)
+	bad := rng.Normal(10, 8, 1)
+	if _, err := Compute(head, bad, x, flopcount.OrderNaive); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := Compute(head, x, x, flopcount.Order(99)); err == nil {
+		t.Fatal("want error for unknown order")
+	}
+}
+
+func TestFusedQKCached(t *testing.T) {
+	head := randomHead(t, 9, 16, 16)
+	rng := tensor.NewRNG(10)
+	x := rng.Normal(8, 16, 1)
+	if head.fusedQK != nil {
+		t.Fatal("fusedQK computed eagerly")
+	}
+	if _, err := Compute(head, x, x, flopcount.OrderFusedQKLate); err != nil {
+		t.Fatal(err)
+	}
+	first := head.fusedQK
+	if first == nil {
+		t.Fatal("fusedQK not cached")
+	}
+	if _, err := Compute(head, x, x, flopcount.OrderFusedQKEarly); err != nil {
+		t.Fatal(err)
+	}
+	if head.fusedQK != first {
+		t.Fatal("fusedQK recomputed")
+	}
+}
+
+func TestMultiHeadValidation(t *testing.T) {
+	rng := tensor.NewRNG(20)
+	h1 := randomHead(t, 21, 16, 4)
+	h2 := randomHead(t, 22, 16, 8) // mismatched FH
+	if _, err := NewMultiHead([]*HeadWeights{h1, h2}, rng.Normal(8, 16, 1), tensor.Zeros(16)); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for mixed heads, got %v", err)
+	}
+	if _, err := NewMultiHead(nil, rng.Normal(8, 16, 1), tensor.Zeros(16)); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for no heads, got %v", err)
+	}
+	h3 := randomHead(t, 23, 16, 4)
+	if _, err := NewMultiHead([]*HeadWeights{h1, h3}, rng.Normal(99, 16, 1), tensor.Zeros(16)); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for WO shape, got %v", err)
+	}
+	if _, err := NewMultiHead([]*HeadWeights{h1, h3}, rng.Normal(8, 16, 1), tensor.Zeros(3)); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for BO length, got %v", err)
+	}
+}
+
+func TestRandomMultiHeadAccessors(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(31), 4, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.H() != 4 || mh.F() != 32 || mh.FH() != 8 {
+		t.Fatalf("H/F/FH = %d/%d/%d", mh.H(), mh.F(), mh.FH())
+	}
+}
+
+func TestMultiHeadPartitionsAssembleToFull(t *testing.T) {
+	// Concatenating the partition outputs of all devices must reproduce
+	// the full multi-head output (paper §V-B: ∪ Tp(x) = T(x)).
+	rng := tensor.NewRNG(40)
+	mh, err := RandomMultiHead(tensor.NewRNG(41), 2, 24, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.Normal(18, 24, 1)
+	full, err := mh.Forward(x, x, flopcount.OrderNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := [][2]int{{0, 6}, {6, 12}, {12, 18}}
+	parts := make([]*tensor.Matrix, 0, len(ranges))
+	for _, r := range ranges {
+		xp, err := x.RowSlice(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := mh.ForwardAdaptive(x, xp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, out)
+	}
+	assembled, err := tensor.ConcatRows(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !assembled.AlmostEqual(full, 1e-3) {
+		d, _ := assembled.MaxAbsDiff(full)
+		t.Fatalf("assembled partitions differ from full output by %v", d)
+	}
+}
+
+func TestForwardAdaptiveSelectsPerTheorem2(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(50), 8, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(51)
+	x := rng.Normal(64, 64, 1)
+
+	// Full partition: naive must be selected (Theorem 2 remark).
+	_, order, err := mh.ForwardAdaptive(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != flopcount.OrderNaive {
+		t.Fatalf("full partition selected %v", order)
+	}
+
+	// Tiny partition of a long input: reordered must be selected.
+	xp, err := x.RowSlice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, order, err = mh.ForwardAdaptive(x, xp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != flopcount.OrderReordered {
+		t.Fatalf("P=1 selected %v", order)
+	}
+}
+
+func TestMultiHeadCost(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(60), 4, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mh.Cost(100, 25, flopcount.OrderNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := flopcount.Shape{N: 100, P: 25, F: 32, FH: 8}
+	want := 4*flopcount.MustCost(s, flopcount.OrderNaive) + int64(25*32*32)
+	if c != want {
+		t.Fatalf("Cost = %d, want %d", c, want)
+	}
+	if _, err := mh.Cost(0, 0, flopcount.OrderNaive); err == nil {
+		t.Fatal("want error for invalid shape")
+	}
+}
+
+func TestForwardErrorPropagatesHeadIndex(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(70), 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.New(4, 7)
+	if _, err := mh.Forward(bad, bad, flopcount.OrderNaive); err == nil {
+		t.Fatal("want error for bad input shape")
+	}
+}
+
+func BenchmarkComputeNaiveP16N256(b *testing.B)     { benchOrder(b, flopcount.OrderNaive, 16) }
+func BenchmarkComputeReorderedP16N256(b *testing.B) { benchOrder(b, flopcount.OrderReordered, 16) }
+
+func benchOrder(b *testing.B, o flopcount.Order, p int) {
+	head := randomHead(b, 1, 512, 64)
+	rng := tensor.NewRNG(2)
+	x := rng.Normal(256, 512, 1)
+	xp, err := x.RowSlice(0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(head, x, xp, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

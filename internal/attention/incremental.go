@@ -1,0 +1,142 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"voltage/internal/tensor"
+)
+
+// This file implements KV-cached incremental attention for autoregressive
+// decoding — the natural extension of Voltage to generation workloads.
+// After a (possibly distributed) prefill over the prompt, each device
+// caches the K and V projections of every layer; decoding one token then
+// costs O(N·F) per layer instead of re-running the full O(N²)+O(N·F²)
+// stack, and the only traffic per step is the token id and one F-vector.
+
+// HeadState is the cached K/V of one attention head: t×FH matrices that
+// grow by one row per decoded token.
+type HeadState struct {
+	K, V *tensor.Matrix
+}
+
+// Len returns the number of cached positions.
+func (s *HeadState) Len() int {
+	if s.K == nil {
+		return 0
+	}
+	return s.K.Rows()
+}
+
+// appendRows grows a cached matrix by the rows of add.
+func appendRows(cur, add *tensor.Matrix) (*tensor.Matrix, error) {
+	if cur == nil || cur.Rows() == 0 {
+		return add, nil
+	}
+	return tensor.ConcatRows(cur, add)
+}
+
+// PrefillHead builds a head's cache from the full layer input x (the
+// prompt prefill): K = x·WK, V = x·WV.
+func PrefillHead(h *HeadWeights, x *tensor.Matrix) (*HeadState, error) {
+	k, err := tensor.MatMul(x, h.WK)
+	if err != nil {
+		return nil, err
+	}
+	v, err := tensor.MatMul(x, h.WV)
+	if err != nil {
+		return nil, err
+	}
+	return &HeadState{K: k, V: v}, nil
+}
+
+// StepHead computes the attention output of one new position given its
+// layer input row xNew (1×F), appending the position's K/V to the cache.
+// Causality is implicit: the new position attends to every cached position
+// plus itself and nothing later exists yet.
+func StepHead(h *HeadWeights, s *HeadState, xNew *tensor.Matrix) (*tensor.Matrix, error) {
+	if xNew.Rows() != 1 || xNew.Cols() != h.F() {
+		return nil, fmt.Errorf("%w: incremental input %dx%d, want 1x%d",
+			tensor.ErrShape, xNew.Rows(), xNew.Cols(), h.F())
+	}
+	kNew, err := tensor.MatMul(xNew, h.WK)
+	if err != nil {
+		return nil, err
+	}
+	vNew, err := tensor.MatMul(xNew, h.WV)
+	if err != nil {
+		return nil, err
+	}
+	if s.K, err = appendRows(s.K, kNew); err != nil {
+		return nil, err
+	}
+	if s.V, err = appendRows(s.V, vNew); err != nil {
+		return nil, err
+	}
+	q, err := tensor.MatMul(xNew, h.WQ)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := tensor.MatMulT(q, s.K) // 1×t
+	if err != nil {
+		return nil, err
+	}
+	tensor.ScaleInPlace(scores, float32(1/math.Sqrt(float64(h.FH()))))
+	tensor.SoftmaxRowsInPlace(scores)
+	return tensor.MatMul(scores, s.V)
+}
+
+// MultiHeadState is the cached K/V of a complete multi-head block.
+type MultiHeadState struct {
+	Heads []*HeadState
+}
+
+// Len returns the number of cached positions.
+func (s *MultiHeadState) Len() int {
+	if len(s.Heads) == 0 {
+		return 0
+	}
+	return s.Heads[0].Len()
+}
+
+// Prefill builds the block's cache from the full layer input x.
+func (m *MultiHead) Prefill(x *tensor.Matrix) (*MultiHeadState, error) {
+	heads := make([]*HeadState, len(m.Heads))
+	for i, h := range m.Heads {
+		s, err := PrefillHead(h, x)
+		if err != nil {
+			return nil, fmt.Errorf("head %d: %w", i, err)
+		}
+		heads[i] = s
+	}
+	return &MultiHeadState{Heads: heads}, nil
+}
+
+// Step computes the multi-head attention output (1×F, after the WO
+// projection and bias) for one new position, appending to the cache.
+func (m *MultiHead) Step(s *MultiHeadState, xNew *tensor.Matrix) (*tensor.Matrix, error) {
+	if len(s.Heads) != len(m.Heads) {
+		return nil, fmt.Errorf("%w: state has %d heads, block has %d",
+			tensor.ErrShape, len(s.Heads), len(m.Heads))
+	}
+	outs := make([]*tensor.Matrix, len(m.Heads))
+	for i, h := range m.Heads {
+		o, err := StepHead(h, s.Heads[i], xNew)
+		if err != nil {
+			return nil, fmt.Errorf("head %d: %w", i, err)
+		}
+		outs[i] = o
+	}
+	cat, err := tensor.ConcatCols(outs...)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := tensor.MatMul(cat, m.WO)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasInPlace(proj, m.BO); err != nil {
+		return nil, err
+	}
+	return proj, nil
+}

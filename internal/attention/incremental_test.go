@@ -1,0 +1,132 @@
+package attention
+
+import (
+	"errors"
+	"testing"
+
+	"voltage/internal/flopcount"
+	"voltage/internal/tensor"
+)
+
+func TestStepHeadMatchesFullCausalAttention(t *testing.T) {
+	// Prefilling a prompt and stepping token by token must reproduce the
+	// rows of the full causal attention output exactly (same math,
+	// different order of evaluation).
+	head := randomHead(t, 201, 24, 8)
+	rng := tensor.NewRNG(202)
+	x := rng.Normal(10, 24, 1)
+	full, err := ComputeWithOptions(head, x, x, Options{Order: flopcount.OrderNaive, Causal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefill on the first 6 positions, step the remaining 4.
+	prefix, _ := x.RowSlice(0, 6)
+	state, err := PrefillHead(head, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Len() != 6 {
+		t.Fatalf("state len %d", state.Len())
+	}
+	for pos := 6; pos < 10; pos++ {
+		row, _ := x.RowSlice(pos, pos+1)
+		out, err := StepHead(head, state, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(pos, pos+1)
+		if !out.AlmostEqual(want, 1e-4) {
+			d, _ := out.MaxAbsDiff(want)
+			t.Fatalf("incremental position %d differs from full causal by %v", pos, d)
+		}
+	}
+	if state.Len() != 10 {
+		t.Fatalf("state len after steps %d", state.Len())
+	}
+}
+
+func TestStepHeadFromEmptyState(t *testing.T) {
+	head := randomHead(t, 210, 16, 4)
+	rng := tensor.NewRNG(211)
+	x := rng.Normal(3, 16, 1)
+	full, err := ComputeWithOptions(head, x, x, Options{Order: flopcount.OrderNaive, Causal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := &HeadState{}
+	for pos := 0; pos < 3; pos++ {
+		row, _ := x.RowSlice(pos, pos+1)
+		out, err := StepHead(head, state, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(pos, pos+1)
+		if !out.AlmostEqual(want, 1e-4) {
+			t.Fatalf("from-empty incremental position %d differs", pos)
+		}
+	}
+}
+
+func TestStepHeadShapeErrors(t *testing.T) {
+	head := randomHead(t, 220, 16, 4)
+	state := &HeadState{}
+	bad := tensor.New(2, 16)
+	if _, err := StepHead(head, state, bad); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for multi-row step, got %v", err)
+	}
+	bad2 := tensor.New(1, 7)
+	if _, err := StepHead(head, state, bad2); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for wrong width, got %v", err)
+	}
+}
+
+func TestMultiHeadPrefillStepMatchesFull(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(230), 3, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(231)
+	x := rng.Normal(8, 24, 1)
+	full, err := mh.ForwardWithOptions(x, x, Options{Order: flopcount.OrderNaive, Causal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, _ := x.RowSlice(0, 5)
+	state, err := mh.Prefill(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Len() != 5 {
+		t.Fatalf("state len %d", state.Len())
+	}
+	for pos := 5; pos < 8; pos++ {
+		row, _ := x.RowSlice(pos, pos+1)
+		out, err := mh.Step(state, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(pos, pos+1)
+		if !out.AlmostEqual(want, 1e-3) {
+			t.Fatalf("multi-head incremental position %d differs", pos)
+		}
+	}
+}
+
+func TestStepStateHeadCountMismatch(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(240), 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := &MultiHeadState{Heads: []*HeadState{{}}}
+	row := tensor.New(1, 16)
+	if _, err := mh.Step(state, row); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMultiHeadStateLenEmpty(t *testing.T) {
+	s := &MultiHeadState{}
+	if s.Len() != 0 {
+		t.Fatal("empty state Len")
+	}
+}

@@ -1,0 +1,152 @@
+package attention
+
+import (
+	"errors"
+	"testing"
+
+	"voltage/internal/flopcount"
+	"voltage/internal/tensor"
+)
+
+func TestCausalMaskZeroesFuture(t *testing.T) {
+	head := randomHead(t, 101, 16, 4)
+	rng := tensor.NewRNG(102)
+	x := rng.Normal(8, 16, 1)
+	// Position 0 may only attend to itself: its output must be invariant
+	// to changes in later positions.
+	xp, err := x.RowSlice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Order: flopcount.OrderNaive, Causal: true, RowOffset: 0}
+	out1, err := ComputeWithOptions(head, x, xp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := x.Clone()
+	for j := 0; j < 16; j++ {
+		x2.Set(7, j, 42)
+	}
+	xp2, _ := x2.RowSlice(0, 1)
+	out2, err := ComputeWithOptions(head, x2, xp2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out1.AlmostEqual(out2, 1e-6) {
+		t.Fatal("causal mask leaked future positions into position 0")
+	}
+}
+
+func TestCausalMaskAllOrdersAgree(t *testing.T) {
+	head := randomHead(t, 110, 24, 6)
+	rng := tensor.NewRNG(111)
+	x := rng.Normal(12, 24, 1)
+	xp, err := x.RowSlice(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ComputeWithOptions(head, x, xp, Options{Order: flopcount.OrderNaive, Causal: true, RowOffset: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range flopcount.AllOrders[1:] {
+		got, err := ComputeWithOptions(head, x, xp, Options{Order: o, Causal: true, RowOffset: 4})
+		if err != nil {
+			t.Fatalf("order %v: %v", o, err)
+		}
+		if !got.AlmostEqual(ref, 1e-3) {
+			t.Fatalf("order %v disagrees under causal mask", o)
+		}
+	}
+}
+
+func TestCausalPartitionMatchesFull(t *testing.T) {
+	// Partitioned causal attention must equal the row slice of full
+	// causal attention.
+	head := randomHead(t, 120, 16, 8)
+	rng := tensor.NewRNG(121)
+	x := rng.Normal(10, 16, 1)
+	full, err := ComputeWithOptions(head, x, x, Options{Order: flopcount.OrderNaive, Causal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, _ := x.RowSlice(3, 7)
+	part, err := ComputeWithOptions(head, x, xp, Options{Order: flopcount.OrderReordered, Causal: true, RowOffset: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := full.RowSlice(3, 7)
+	if !part.AlmostEqual(want, 1e-3) {
+		t.Fatal("causal partition differs from full slice")
+	}
+}
+
+func TestComputeWithOptionsValidation(t *testing.T) {
+	head := randomHead(t, 130, 16, 4)
+	rng := tensor.NewRNG(131)
+	x := rng.Normal(5, 16, 1)
+	xp, _ := x.RowSlice(0, 2)
+	if _, err := ComputeWithOptions(head, x, xp, Options{Order: flopcount.OrderNaive, Causal: true, RowOffset: 4}); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for offset overflow, got %v", err)
+	}
+	if _, err := ComputeWithOptions(head, x, xp, Options{Order: flopcount.OrderNaive, Causal: true, RowOffset: -1}); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for negative offset, got %v", err)
+	}
+	bad := rng.Normal(5, 3, 1)
+	if _, err := ComputeWithOptions(head, bad, xp, Options{Order: flopcount.OrderNaive}); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for feature mismatch, got %v", err)
+	}
+}
+
+func TestNonCausalOptionsMatchesCompute(t *testing.T) {
+	head := randomHead(t, 140, 16, 4)
+	rng := tensor.NewRNG(141)
+	x := rng.Normal(9, 16, 1)
+	xp, _ := x.RowSlice(2, 6)
+	a, err := Compute(head, x, xp, flopcount.OrderReordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeWithOptions(head, x, xp, Options{Order: flopcount.OrderReordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("ComputeWithOptions(non-causal) != Compute")
+	}
+}
+
+func TestMultiHeadForwardWithOptionsCausal(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(150), 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(151)
+	x := rng.Normal(8, 16, 1)
+	full, err := mh.ForwardWithOptions(x, x, Options{Order: flopcount.OrderNaive, Causal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assemble two causal partitions.
+	top, _ := x.RowSlice(0, 4)
+	bottom, _ := x.RowSlice(4, 8)
+	outTop, err := mh.ForwardWithOptions(x, top, Options{Order: flopcount.OrderReordered, Causal: true, RowOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBottom, err := mh.ForwardWithOptions(x, bottom, Options{Order: flopcount.OrderReordered, Causal: true, RowOffset: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled, err := tensor.ConcatRows(outTop, outBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !assembled.AlmostEqual(full, 1e-3) {
+		t.Fatal("causal multi-head partitions do not assemble to full output")
+	}
+	// Error propagation path.
+	if _, err := mh.ForwardWithOptions(x, top, Options{Order: flopcount.Order(99)}); err == nil {
+		t.Fatal("want error for unknown order")
+	}
+}

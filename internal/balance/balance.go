@@ -1,0 +1,124 @@
+// Package balance implements runtime partition-scheme adaptation — the
+// flexibility Section V-B of the Voltage paper points out: every device
+// holds the full layer input after synchronization, so the scheme can
+// change per layer "without any penalty".
+//
+// A Tracker keeps an exponentially weighted estimate of every device's
+// seconds-per-position and derives the scheme that equalizes predicted
+// finish times (ratios proportional to device speed). Workers feed it with
+// timings exchanged at the existing synchronization point; because every
+// worker applies identical updates to identical state, all devices derive
+// the same scheme deterministically with no extra coordination round.
+package balance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"voltage/internal/partition"
+)
+
+// DefaultAlpha is the EWMA smoothing factor: high enough to adapt within a
+// few layers, low enough to ride out timing noise.
+const DefaultAlpha = 0.5
+
+// Tracker estimates per-device compute speed and derives schemes.
+type Tracker struct {
+	k      int
+	alpha  float64
+	perPos []float64 // EWMA seconds per position; 0 = no observation yet
+}
+
+// NewTracker returns a tracker for k devices. alpha ≤ 0 selects
+// DefaultAlpha.
+func NewTracker(k int, alpha float64) (*Tracker, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("balance: k = %d", k)
+	}
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if alpha > 1 {
+		return nil, fmt.Errorf("balance: alpha = %v > 1", alpha)
+	}
+	return &Tracker{k: k, alpha: alpha, perPos: make([]float64, k)}, nil
+}
+
+// K returns the tracked device count.
+func (t *Tracker) K() int { return t.k }
+
+// Update folds one round of observations in: times[r] is device r's
+// measured seconds per position this layer, with values ≤ 0 (or NaN/Inf)
+// meaning "no observation" (e.g. an empty partition), which keeps the
+// previous estimate.
+func (t *Tracker) Update(times []float64) error {
+	if len(times) != t.k {
+		return fmt.Errorf("balance: %d observations for %d devices", len(times), t.k)
+	}
+	for r, v := range times {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if t.perPos[r] == 0 {
+			t.perPos[r] = v
+			continue
+		}
+		t.perPos[r] = t.alpha*v + (1-t.alpha)*t.perPos[r]
+	}
+	return nil
+}
+
+// PerPosition returns a copy of the current estimates (0 = unknown).
+func (t *Tracker) PerPosition() []float64 {
+	cp := make([]float64, t.k)
+	copy(cp, t.perPos)
+	return cp
+}
+
+// Scheme derives the speed-proportional partition scheme: device r's ratio
+// ∝ 1/perPos[r]. Devices without observations are assigned the mean speed
+// of the observed ones; with no observations at all the scheme is even.
+func (t *Tracker) Scheme() (*partition.Scheme, error) {
+	speeds := make([]float64, t.k)
+	var sum float64
+	var seen int
+	for r, pp := range t.perPos {
+		if pp > 0 {
+			speeds[r] = 1 / pp
+			sum += speeds[r]
+			seen++
+		}
+	}
+	if seen == 0 {
+		return partition.Even(t.k)
+	}
+	mean := sum / float64(seen)
+	for r := range speeds {
+		if speeds[r] == 0 {
+			speeds[r] = mean
+		}
+	}
+	return partition.Weighted(speeds)
+}
+
+// EncodeObservation serializes one device's seconds-per-position for the
+// timing exchange (8 bytes, little-endian float64 bits).
+func EncodeObservation(secPerPos float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(secPerPos))
+	return b[:]
+}
+
+// DecodeObservation parses an exchanged observation; malformed frames
+// decode as "no observation" so one corrupt peer cannot poison the scheme.
+func DecodeObservation(b []byte) float64 {
+	if len(b) != 8 {
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

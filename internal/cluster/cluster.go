@@ -1,0 +1,558 @@
+// Package cluster implements the distributed runtime of Section V: a
+// terminal device plus K worker devices executing Algorithm 2 (Voltage),
+// the tensor-parallelism baseline, or single-device inference over a
+// bandwidth-emulated mesh.
+//
+// The emulation mirrors the paper's testbed: each worker stands in for one
+// single-vCPU VM (run experiments with tensor.SetWorkers(1) so each
+// device's math is single-threaded; the workers themselves run in parallel
+// goroutines exactly as separate machines would), and all traffic flows
+// through netem-shaped links.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"voltage/internal/balance"
+	"voltage/internal/comm"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+	"voltage/internal/tparallel"
+	"voltage/internal/trace"
+)
+
+// Strategy selects how inference work is distributed.
+type Strategy int
+
+// Supported strategies.
+const (
+	// StrategySingle runs the whole model on worker 0 (the paper's
+	// single-device baseline).
+	StrategySingle Strategy = iota + 1
+	// StrategyVoltage is the paper's position-wise partitioning with one
+	// All-Gather per layer (Algorithm 2).
+	StrategyVoltage
+	// StrategyTensorParallel is the Megatron-style baseline with two
+	// All-Reduces per layer.
+	StrategyTensorParallel
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySingle:
+		return "single"
+	case StrategyVoltage:
+		return "voltage"
+	case StrategyTensorParallel:
+		return "tensor-parallel"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a cluster.
+type Options struct {
+	// Profile shapes every link (default netem.Unlimited).
+	Profile netem.Profile
+	// Scheme is the Voltage partition scheme (default Even(k)).
+	Scheme *partition.Scheme
+	// RingAllGather selects the ring All-Gather for Voltage's layer
+	// synchronization (default naive direct exchange, as in the paper's
+	// accounting).
+	RingAllGather bool
+	// NaiveAllReduce downgrades tensor parallelism to the naive All-Reduce
+	// (default ring, matching the Megatron figures the paper cites).
+	NaiveAllReduce bool
+	// Seed derives the replicated model weights (default 1).
+	Seed int64
+	// DeviceFlops paces every emulated device at this sustained MAC/s
+	// rate: after each layer's real math the worker sleeps until the
+	// layer's analytic Γ divided by DeviceFlops has elapsed. This makes
+	// the emulation faithful even when the host has fewer cores than
+	// emulated devices — pick a rate at or below
+	// host-per-core-rate × cores ÷ K. Zero disables pacing (latencies
+	// then reflect raw host math under whatever contention exists).
+	DeviceFlops float64
+	// HeteroDeviceFlops, when non-nil, paces worker r at
+	// HeteroDeviceFlops[r] instead of DeviceFlops — a heterogeneous edge
+	// cluster (§V-B). Length must equal K.
+	HeteroDeviceFlops []float64
+	// DynamicScheme lets Voltage re-balance the partition scheme per layer
+	// at runtime from observed per-position compute times (the paper's
+	// §V-B flexibility). Workers exchange their timings inside the
+	// existing synchronization point, so the adjustment costs a few bytes
+	// per layer.
+	DynamicScheme bool
+	// Recorder, when non-nil, accumulates per-device compute/comm phase
+	// timings for breakdown reporting.
+	Recorder *trace.Recorder
+	// QuantizedComm int8-quantizes Voltage's All-Gather payloads (≈¼ the
+	// traffic) at the cost of a bounded per-layer quantization error —
+	// the communication optimization the paper's conclusion points to.
+	QuantizedComm bool
+}
+
+// Cluster is an in-process emulation of a terminal device plus K workers.
+// Every worker holds a full replica of the model (Voltage's design) and a
+// tensor-parallel shard (the baseline's design).
+type Cluster struct {
+	cfg    model.Config
+	k      int
+	peers  []*comm.MemPeer // ranks 0..k-1 workers, rank k terminal
+	models []*model.Model
+	shards [][]*tparallel.ShardedLayer
+	scheme *partition.Scheme
+	opts   Options
+}
+
+// terminalRank returns the mesh rank of the terminal device.
+func (c *Cluster) terminalRank() int { return c.k }
+
+// NewMem builds an in-memory cluster of k workers plus a terminal for the
+// given model configuration.
+func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k = %d < 1", k)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	scheme := opts.Scheme
+	if scheme == nil {
+		var err error
+		scheme, err = partition.Even(k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if scheme.K() != k {
+		return nil, fmt.Errorf("cluster: scheme for %d devices, cluster has %d", scheme.K(), k)
+	}
+	if opts.HeteroDeviceFlops != nil && len(opts.HeteroDeviceFlops) != k {
+		return nil, fmt.Errorf("cluster: %d per-device rates for %d workers", len(opts.HeteroDeviceFlops), k)
+	}
+	peers, err := comm.NewMemMesh(k+1, opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	// Every worker materializes the same weights from the shared seed —
+	// Voltage replicates the model instead of shipping weights.
+	models := make([]*model.Model, k)
+	shards := make([][]*tparallel.ShardedLayer, k)
+	for r := 0; r < k; r++ {
+		m, err := model.NewRandom(cfg, opts.Seed)
+		if err != nil {
+			_ = peers[0].Close()
+			return nil, err
+		}
+		models[r] = m
+		sh, err := tparallel.ShardModel(m, r, k)
+		if err != nil {
+			_ = peers[0].Close()
+			return nil, err
+		}
+		shards[r] = sh
+	}
+	return &Cluster{
+		cfg: cfg, k: k, peers: peers,
+		models: models, shards: shards,
+		scheme: scheme, opts: opts,
+	}, nil
+}
+
+// K returns the number of worker devices.
+func (c *Cluster) K() int { return c.k }
+
+// Config returns the model configuration.
+func (c *Cluster) Config() model.Config { return c.cfg }
+
+// Model returns worker r's model replica (terminal-side pre/post-processing
+// uses replica 0, which is bit-identical to the others).
+func (c *Cluster) Model(r int) *model.Model { return c.models[r] }
+
+// SetBandwidth changes every device's link rate mid-experiment (the Fig. 5
+// sweep).
+func (c *Cluster) SetBandwidth(mbps float64) {
+	for r := 0; r <= c.k; r++ {
+		c.peers[0].NIC(r).SetRate(netem.Mbps(mbps))
+	}
+}
+
+// Close shuts the mesh down.
+func (c *Cluster) Close() {
+	_ = c.peers[0].Close()
+}
+
+// Result reports one distributed inference.
+type Result struct {
+	// Output is the final hidden-state matrix (N×F) as assembled at the
+	// terminal device.
+	Output *tensor.Matrix
+	// Latency is the terminal-observed time from input broadcast to
+	// result assembly — the paper's measurement.
+	Latency time.Duration
+	// PerDevice holds each worker's traffic during this inference
+	// (index = worker rank; the last entry is the terminal).
+	PerDevice []comm.Stats
+	// Strategy echoes the strategy used.
+	Strategy Strategy
+}
+
+// TotalBytesSent sums payload bytes sent by the workers (excluding the
+// terminal's input broadcast), the quantity the paper's per-layer
+// communication formulas describe.
+func (r *Result) TotalBytesSent() int64 {
+	var total int64
+	for i, s := range r.PerDevice[:len(r.PerDevice)-1] {
+		_ = i
+		total += s.BytesSent
+	}
+	return total
+}
+
+// Infer runs one distributed inference of the embedded input x under the
+// given strategy and reports the terminal-observed latency. x is the N×F
+// feature matrix produced by pre-processing (embedding).
+func (c *Cluster) Infer(ctx context.Context, strategy Strategy, x *tensor.Matrix) (*Result, error) {
+	before := make([]comm.Stats, c.k+1)
+	for r := 0; r <= c.k; r++ {
+		before[r] = c.peers[r].Stats()
+	}
+
+	var workerErrs []error
+	var output *tensor.Matrix
+	var latency time.Duration
+	var wg sync.WaitGroup
+	workerErrs = make([]error, c.k+1)
+
+	// Workers.
+	for r := 0; r < c.k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			workerErrs[r] = c.runWorker(ctx, r, strategy)
+		}(r)
+	}
+	// Terminal.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		start := time.Now()
+		out, err := c.runTerminal(ctx, strategy, x)
+		latency = time.Since(start)
+		output = out
+		workerErrs[c.k] = err
+	}()
+	wg.Wait()
+
+	for r, err := range workerErrs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rank %d (%s): %w", r, strategy, err)
+		}
+	}
+	per := make([]comm.Stats, c.k+1)
+	for r := 0; r <= c.k; r++ {
+		after := c.peers[r].Stats()
+		per[r] = comm.Stats{
+			BytesSent: after.BytesSent - before[r].BytesSent,
+			BytesRecv: after.BytesRecv - before[r].BytesRecv,
+			MsgsSent:  after.MsgsSent - before[r].MsgsSent,
+			MsgsRecv:  after.MsgsRecv - before[r].MsgsRecv,
+		}
+	}
+	return &Result{Output: output, Latency: latency, PerDevice: per, Strategy: strategy}, nil
+}
+
+// runTerminal implements the terminal device's side of Algorithm 2:
+// distribute the input features, then collect the final output.
+func (c *Cluster) runTerminal(ctx context.Context, strategy Strategy, x *tensor.Matrix) (*tensor.Matrix, error) {
+	p := c.peers[c.terminalRank()]
+	blob := tensor.Encode(nil, x)
+	switch strategy {
+	case StrategySingle:
+		// Only worker 0 participates.
+		if err := p.Send(ctx, 0, blob); err != nil {
+			return nil, err
+		}
+		got, err := p.Recv(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := tensor.Decode(got)
+		return out, err
+	case StrategyVoltage:
+		for r := 0; r < c.k; r++ {
+			if err := p.Send(ctx, r, blob); err != nil {
+				return nil, err
+			}
+		}
+		// Collect final-layer partitions from every worker (Algorithm 2,
+		// line 8) and assemble by rank order. Assembly is driven by the
+		// received row counts rather than the static scheme so dynamic
+		// per-layer re-balancing needs no extra coordination.
+		return c.collectPartitions(ctx, p, x.Rows())
+	case StrategyTensorParallel:
+		for r := 0; r < c.k; r++ {
+			if err := p.Send(ctx, r, blob); err != nil {
+				return nil, err
+			}
+		}
+		// Every worker holds the full output; worker 0 reports it.
+		got, err := p.Recv(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := tensor.Decode(got)
+		return out, err
+	default:
+		return nil, fmt.Errorf("cluster: unknown strategy %v", strategy)
+	}
+}
+
+// collectPartitions receives one final-layer partition from every worker
+// and stacks them in rank order, verifying full coverage of n rows.
+func (c *Cluster) collectPartitions(ctx context.Context, p comm.Peer, n int) (*tensor.Matrix, error) {
+	parts := make([]*tensor.Matrix, c.k)
+	for r := 0; r < c.k; r++ {
+		got, err := p.Recv(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		part, _, err := tensor.Decode(got)
+		if err != nil {
+			return nil, err
+		}
+		parts[r] = part
+	}
+	out, err := tensor.ConcatRows(parts...)
+	if err != nil {
+		return nil, err
+	}
+	if out.Rows() != n {
+		return nil, fmt.Errorf("cluster: assembled %d rows, want %d", out.Rows(), n)
+	}
+	return out, nil
+}
+
+// runWorker implements one worker device's side of the chosen strategy.
+func (c *Cluster) runWorker(ctx context.Context, rank int, strategy Strategy) error {
+	p := c.peers[rank]
+	term := c.terminalRank()
+	switch strategy {
+	case StrategySingle:
+		if rank != 0 {
+			return nil // idle
+		}
+		blob, err := p.Recv(ctx, term)
+		if err != nil {
+			return err
+		}
+		x, _, err := tensor.Decode(blob)
+		if err != nil {
+			return err
+		}
+		cur := x
+		for li, layer := range c.models[0].Layers {
+			start := time.Now()
+			out, err := layer.Forward(cur)
+			if err != nil {
+				return fmt.Errorf("layer %d: %w", li, err)
+			}
+			cost, err := layer.Cost(cur.Rows(), cur.Rows())
+			if err != nil {
+				return err
+			}
+			if err := c.paceRank(ctx, 0, start, cost); err != nil {
+				return err
+			}
+			c.opts.Recorder.Add(0, trace.PhaseCompute, time.Since(start))
+			cur = out
+		}
+		return p.Send(ctx, term, tensor.Encode(nil, cur))
+	case StrategyVoltage:
+		return c.voltageWorker(ctx, rank)
+	case StrategyTensorParallel:
+		return c.tpWorker(ctx, rank)
+	default:
+		return fmt.Errorf("cluster: unknown strategy %v", strategy)
+	}
+}
+
+// voltageWorker is Algorithm 2, lines 4–15, for one device.
+func (c *Cluster) voltageWorker(ctx context.Context, rank int) error {
+	p := c.peers[rank]
+	term := c.terminalRank()
+	blob, err := p.Recv(ctx, term)
+	if err != nil {
+		return err
+	}
+	x, _, err := tensor.Decode(blob)
+	if err != nil {
+		return err
+	}
+	ranges, err := c.scheme.Ranges(x.Rows())
+	if err != nil {
+		return err
+	}
+	group, err := c.workerGroup(rank)
+	if err != nil {
+		return err
+	}
+	var tracker *balance.Tracker
+	if c.opts.DynamicScheme {
+		if tracker, err = balance.NewTracker(c.k, 0); err != nil {
+			return err
+		}
+	}
+	m := c.models[rank]
+	for li, layer := range m.Layers {
+		start := time.Now()
+		part, _, err := layer.ForwardPartition(x, ranges[rank])
+		if err != nil {
+			return fmt.Errorf("layer %d: %w", li, err)
+		}
+		if p := ranges[rank].Len(); p > 0 {
+			cost, err := layer.Cost(x.Rows(), p)
+			if err != nil {
+				return err
+			}
+			if err := c.paceRank(ctx, rank, start, cost); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		c.opts.Recorder.Add(rank, trace.PhaseCompute, elapsed)
+		if li == len(m.Layers)-1 {
+			// Final layer: ship the partition to the terminal.
+			return p.Send(ctx, term, tensor.Encode(nil, part))
+		}
+		commStart := time.Now()
+		if c.opts.QuantizedComm {
+			x, err = comm.AllGatherMatrixQ(ctx, group, part, ranges, c.opts.RingAllGather)
+		} else {
+			x, err = comm.AllGatherMatrix(ctx, group, part, ranges, c.opts.RingAllGather)
+		}
+		if err != nil {
+			return fmt.Errorf("layer %d allgather: %w", li, err)
+		}
+		c.opts.Recorder.Add(rank, trace.PhaseComm, time.Since(commStart))
+		if tracker != nil {
+			ranges, err = c.rebalance(ctx, group, tracker, ranges[rank], elapsed, x.Rows())
+			if err != nil {
+				return fmt.Errorf("layer %d rebalance: %w", li, err)
+			}
+		}
+	}
+	return nil
+}
+
+// rebalance exchanges per-position timings among the workers and derives
+// the next layer's partition ranges. Every worker runs identical tracker
+// updates on identical inputs, so the resulting schemes agree without any
+// extra coordination round beyond the tiny 8-byte all-gather.
+func (c *Cluster) rebalance(ctx context.Context, group comm.Peer, tracker *balance.Tracker,
+	mine partition.Range, elapsed time.Duration, n int) ([]partition.Range, error) {
+	var obs float64
+	if pl := mine.Len(); pl > 0 {
+		obs = elapsed.Seconds() / float64(pl)
+	}
+	blobs, err := comm.AllGather(ctx, group, balance.EncodeObservation(obs))
+	if err != nil {
+		return nil, err
+	}
+	times := make([]float64, c.k)
+	for r, b := range blobs {
+		times[r] = balance.DecodeObservation(b)
+	}
+	if err := tracker.Update(times); err != nil {
+		return nil, err
+	}
+	scheme, err := tracker.Scheme()
+	if err != nil {
+		return nil, err
+	}
+	return scheme.Ranges(n)
+}
+
+// tpWorker runs the tensor-parallel baseline for one device.
+func (c *Cluster) tpWorker(ctx context.Context, rank int) error {
+	p := c.peers[rank]
+	term := c.terminalRank()
+	blob, err := p.Recv(ctx, term)
+	if err != nil {
+		return err
+	}
+	x, _, err := tensor.Decode(blob)
+	if err != nil {
+		return err
+	}
+	group, err := c.workerGroup(rank)
+	if err != nil {
+		return err
+	}
+	cur := x
+	for li, shard := range c.shards[rank] {
+		shard.Pace = func(ctx context.Context, start time.Time, flops int64) error {
+			if err := c.paceRank(ctx, rank, start, flops); err != nil {
+				return err
+			}
+			c.opts.Recorder.Add(rank, trace.PhaseCompute, time.Since(start))
+			return nil
+		}
+		shard.OnComm = func(d time.Duration) {
+			c.opts.Recorder.Add(rank, trace.PhaseComm, d)
+		}
+		out, err := shard.Forward(ctx, group, cur, !c.opts.NaiveAllReduce)
+		if err != nil {
+			return fmt.Errorf("layer %d: %w", li, err)
+		}
+		cur = out
+	}
+	if rank == 0 {
+		return p.Send(ctx, term, tensor.Encode(nil, cur))
+	}
+	return nil
+}
+
+// deviceRate returns worker rank's emulated compute rate (0 = unpaced).
+func (c *Cluster) deviceRate(rank int) float64 {
+	if rank >= 0 && rank < len(c.opts.HeteroDeviceFlops) {
+		return c.opts.HeteroDeviceFlops[rank]
+	}
+	return c.opts.DeviceFlops
+}
+
+// pace sleeps until the emulated compute duration flops/DeviceFlops has
+// elapsed since start. With DeviceFlops unset it is a no-op and latencies
+// reflect raw host math. (Homogeneous rate; per-rank pacing uses paceRank.)
+func (c *Cluster) pace(ctx context.Context, start time.Time, flops int64) error {
+	return c.paceRank(ctx, -1, start, flops)
+}
+
+// paceRank is pace with worker rank's own rate.
+func (c *Cluster) paceRank(ctx context.Context, rank int, start time.Time, flops int64) error {
+	rate := c.deviceRate(rank)
+	if rate <= 0 {
+		return nil
+	}
+	target := time.Duration(float64(flops) / rate * float64(time.Second))
+	return netem.SleepUntil(ctx, start.Add(target))
+}
+
+// workerGroup returns the worker-only collective group for a rank.
+func (c *Cluster) workerGroup(rank int) (comm.Peer, error) {
+	members := make([]int, c.k)
+	for i := range members {
+		members[i] = i
+	}
+	return comm.NewSubgroup(c.peers[rank], members)
+}

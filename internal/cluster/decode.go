@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"voltage/internal/comm"
+	"voltage/internal/model"
+	"voltage/internal/tensor"
+)
+
+// Distributed KV-cached generation: the prompt prefill runs under
+// Algorithm 2 (position-wise partitions + All-Gather), during which every
+// worker also builds a full K/V cache for every layer — it already holds
+// each layer's complete input, so the cache costs no extra communication.
+// Each decode step then moves only a 4-byte token id to the workers and
+// one F-vector back: communication per generated token drops from
+// L·(K−1)·N·F/K floats to F floats.
+//
+// Decode-step math is replicated on every worker (it is O(N·F) per layer —
+// negligible next to prefill) so the cache stays consistent everywhere and
+// any worker could serve the output.
+
+// GenerateResult reports a distributed generation run.
+type GenerateResult struct {
+	// Tokens is the prompt plus the generated continuation.
+	Tokens []int
+	// PrefillLatency is the terminal-observed prompt processing time.
+	PrefillLatency time.Duration
+	// DecodeLatency is the terminal-observed total decoding time.
+	DecodeLatency time.Duration
+	// PerDevice holds each device's traffic for the whole run (workers
+	// first, terminal last).
+	PerDevice []comm.Stats
+}
+
+// decodeFrame encodes a decode-step token id.
+func decodeFrame(id int) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(id))
+	return b[:]
+}
+
+// GenerateVoltage decodes steps tokens greedily: distributed prefill
+// (Voltage, Algorithm 2) followed by KV-cached decode steps. The model
+// must be a decoder.
+func (c *Cluster) GenerateVoltage(ctx context.Context, prompt []int, steps int) (*GenerateResult, error) {
+	if c.cfg.Kind != model.KindDecoder {
+		return nil, fmt.Errorf("cluster: %s is not a decoder", c.cfg.Name)
+	}
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("cluster: empty prompt")
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("cluster: negative steps %d", steps)
+	}
+	before := make([]comm.Stats, c.k+1)
+	for r := 0; r <= c.k; r++ {
+		before[r] = c.peers[r].Stats()
+	}
+
+	res := &GenerateResult{}
+	errs := make([]error, c.k+1)
+	var wg sync.WaitGroup
+	for r := 0; r < c.k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = c.decodeWorker(ctx, r)
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[c.k] = c.decodeTerminal(ctx, prompt, steps, res)
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: generate rank %d: %w", r, err)
+		}
+	}
+	res.PerDevice = make([]comm.Stats, c.k+1)
+	for r := 0; r <= c.k; r++ {
+		after := c.peers[r].Stats()
+		res.PerDevice[r] = comm.Stats{
+			BytesSent: after.BytesSent - before[r].BytesSent,
+			BytesRecv: after.BytesRecv - before[r].BytesRecv,
+			MsgsSent:  after.MsgsSent - before[r].MsgsSent,
+			MsgsRecv:  after.MsgsRecv - before[r].MsgsRecv,
+		}
+	}
+	return res, nil
+}
+
+// decodeTerminal drives the generation from the terminal device.
+func (c *Cluster) decodeTerminal(ctx context.Context, prompt []int, steps int, res *GenerateResult) error {
+	p := c.peers[c.terminalRank()]
+	m := c.models[0] // pre/post-processing replica
+	x, err := m.Embed.EmbedTokens(prompt)
+	if err != nil {
+		return err
+	}
+	shutdown := func() {
+		for r := 0; r < c.k; r++ {
+			_ = p.Send(ctx, r, []byte{})
+		}
+	}
+
+	// Prefill: broadcast the embedded prompt, collect final partitions.
+	start := time.Now()
+	blob := tensor.Encode(nil, x)
+	for r := 0; r < c.k; r++ {
+		if err := p.Send(ctx, r, blob); err != nil {
+			shutdown()
+			return err
+		}
+	}
+	out, err := c.collectPartitions(ctx, p, x.Rows())
+	if err != nil {
+		shutdown()
+		return err
+	}
+	res.PrefillLatency = time.Since(start)
+
+	tokens := make([]int, len(prompt), len(prompt)+steps)
+	copy(tokens, prompt)
+	last, err := out.RowSlice(out.Rows()-1, out.Rows())
+	if err != nil {
+		shutdown()
+		return err
+	}
+
+	// Decode loop.
+	start = time.Now()
+	for i := 0; i < steps; i++ {
+		if len(tokens) >= c.cfg.MaxSeq {
+			break
+		}
+		logits, err := m.LM.NextTokenLogits(last)
+		if err != nil {
+			shutdown()
+			return err
+		}
+		next := model.Argmax(logits)
+		tokens = append(tokens, next)
+		if i == steps-1 || len(tokens) >= c.cfg.MaxSeq {
+			break
+		}
+		frame := decodeFrame(next)
+		for r := 0; r < c.k; r++ {
+			if err := p.Send(ctx, r, frame); err != nil {
+				shutdown()
+				return err
+			}
+		}
+		got, err := p.Recv(ctx, 0) // worker 0 reports the new hidden row
+		if err != nil {
+			shutdown()
+			return err
+		}
+		last, _, err = tensor.Decode(got)
+		if err != nil {
+			shutdown()
+			return err
+		}
+	}
+	res.DecodeLatency = time.Since(start)
+	res.Tokens = tokens
+	shutdown()
+	return nil
+}
+
+// decodeWorker serves the prefill plus decode steps on one device.
+func (c *Cluster) decodeWorker(ctx context.Context, rank int) error {
+	p := c.peers[rank]
+	term := c.terminalRank()
+	m := c.models[rank]
+
+	// Prefill: Algorithm 2 with cache building. The worker caches every
+	// layer's K/V from the layer input it holds after each All-Gather.
+	blob, err := p.Recv(ctx, term)
+	if err != nil {
+		return err
+	}
+	x, _, err := tensor.Decode(blob)
+	if err != nil {
+		return err
+	}
+	ranges, err := c.scheme.Ranges(x.Rows())
+	if err != nil {
+		return err
+	}
+	group, err := c.workerGroup(rank)
+	if err != nil {
+		return err
+	}
+	state := &model.DecodeState{Layers: make([]*model.LayerState, len(m.Layers)), Pos: x.Rows()}
+	for li, layer := range m.Layers {
+		start := time.Now()
+		ls, err := layer.PrefillState(x)
+		if err != nil {
+			return fmt.Errorf("layer %d prefill: %w", li, err)
+		}
+		state.Layers[li] = ls
+		part, _, err := layer.ForwardPartition(x, ranges[rank])
+		if err != nil {
+			return fmt.Errorf("layer %d: %w", li, err)
+		}
+		if pl := ranges[rank].Len(); pl > 0 {
+			cost, err := layer.Cost(x.Rows(), pl)
+			if err != nil {
+				return err
+			}
+			// Cache building adds the K/V projections over the full
+			// sequence: 2·N·F·FH per head.
+			cost += 2 * int64(x.Rows()) * int64(layer.F()) * int64(layer.Attn.FH()) * int64(layer.Attn.H())
+			if err := c.paceRank(ctx, rank, start, cost); err != nil {
+				return err
+			}
+		}
+		if li == len(m.Layers)-1 {
+			if err := p.Send(ctx, term, tensor.Encode(nil, part)); err != nil {
+				return err
+			}
+			break
+		}
+		x, err = comm.AllGatherMatrix(ctx, group, part, ranges, c.opts.RingAllGather)
+		if err != nil {
+			return fmt.Errorf("layer %d allgather: %w", li, err)
+		}
+	}
+
+	// Decode loop: token frames until the zero-length shutdown frame.
+	for {
+		frame, err := p.Recv(ctx, term)
+		if err != nil {
+			return err
+		}
+		if len(frame) == 0 {
+			return nil
+		}
+		if len(frame) != 4 {
+			return fmt.Errorf("cluster: bad decode frame of %d bytes", len(frame))
+		}
+		id := int(binary.LittleEndian.Uint32(frame))
+		start := time.Now()
+		row, err := m.DecodeStep(state, id)
+		if err != nil {
+			return err
+		}
+		if err := c.paceRank(ctx, rank, start, decodeStepCost(m, state.Pos)); err != nil {
+			return err
+		}
+		if rank == 0 {
+			if err := p.Send(ctx, term, tensor.Encode(nil, row)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// decodeStepCost is the analytic Γ of one KV-cached decode step over the
+// whole stack at cache length t: per layer, H heads at 3·F·FH + 2·t·FH
+// each, the WO projection, the FFN and the layer norms.
+func decodeStepCost(m *model.Model, t int) int64 {
+	cfg := m.Cfg
+	f, fh, h, dff := int64(cfg.F), int64(cfg.FH()), int64(cfg.Heads), int64(cfg.FFN)
+	perLayer := h*(3*f*fh+2*int64(t)*fh) + f*f + 2*f*dff + 4*f
+	return perLayer * int64(cfg.Layers)
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"voltage/internal/model"
+)
+
+// heteroOpts builds a 3-device cluster where device 2 is 4× slower. The
+// base rate is slow enough that pacing (the emulated device speed)
+// dominates the tiny model's real math and scheduling noise.
+func heteroOpts(dynamic bool) Options {
+	base := 1e7
+	return Options{
+		HeteroDeviceFlops: []float64{base, base, base / 4},
+		DynamicScheme:     dynamic,
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	if _, err := NewMem(model.Tiny(), 2, Options{HeteroDeviceFlops: []float64{1e9}}); err == nil {
+		t.Fatal("want error for rate/worker count mismatch")
+	}
+}
+
+func TestDynamicSchemeOutputUnchanged(t *testing.T) {
+	// Re-balancing must never change the computed function.
+	cfg := model.Tiny().Scaled(6) // enough layers for the scheme to move
+	c, err := NewMem(cfg, 3, heteroOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	x := embedTiny(t, c, 24)
+	ctx := context.Background()
+	single, err := c.Infer(ctx, StrategySingle, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := c.Infer(ctx, StrategyVoltage, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dynamic.Output.AlmostEqual(single.Output, 1e-2) {
+		d, _ := dynamic.Output.MaxAbsDiff(single.Output)
+		t.Fatalf("dynamic scheme changed the output by %v", d)
+	}
+}
+
+func TestDynamicSchemeBeatsEvenOnHeterogeneousCluster(t *testing.T) {
+	// With one 4×-slower device, the even scheme is bottlenecked by the
+	// straggler at every layer; dynamic re-balancing shrinks its share
+	// and reduces end-to-end latency.
+	if raceEnabled {
+		t.Skip("pacing-based timing comparison unreliable under -race")
+	}
+	cfg := model.Tiny().Scaled(8)
+	run := func(dynamic bool) float64 {
+		c, err := NewMem(cfg, 3, heteroOpts(dynamic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		in := embedTiny(t, c, 48)
+		res, err := c.Infer(context.Background(), StrategyVoltage, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Seconds()
+	}
+	even := run(false)
+	dynamic := run(true)
+	if dynamic >= even {
+		t.Fatalf("dynamic scheme (%.4fs) not faster than even scheme (%.4fs) on heterogeneous cluster",
+			dynamic, even)
+	}
+	t.Logf("heterogeneous K=3 (one 4x-slower device): even=%.4fs dynamic=%.4fs (%.0f%% faster)",
+		even, dynamic, 100*(1-dynamic/even))
+}
+
+func TestDynamicSchemeHomogeneousStaysCorrect(t *testing.T) {
+	// On a homogeneous cluster the tracker should keep roughly even
+	// schemes and the result must stay correct.
+	c, err := NewMem(model.Tiny().Scaled(4), 3, Options{DynamicScheme: true, DeviceFlops: 2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	x := embedTiny(t, c, 30)
+	ctx := context.Background()
+	single, err := c.Infer(ctx, StrategySingle, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := c.Infer(ctx, StrategyVoltage, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dyn.Output.AlmostEqual(single.Output, 1e-2) {
+		t.Fatal("homogeneous dynamic output differs")
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"voltage/internal/comm"
+	"voltage/internal/pipeline"
+	"voltage/internal/tensor"
+)
+
+// PipelineResult reports a pipelined multi-request run.
+type PipelineResult struct {
+	// Outputs are the final hidden states per request, in order.
+	Outputs []*tensor.Matrix
+	// FirstLatency is the terminal-observed latency of the first request
+	// (what a single user experiences — the paper's point: pipelining
+	// cannot reduce this).
+	FirstLatency time.Duration
+	// Makespan is the time from the first send to the last result; the
+	// throughput is len(Outputs)/Makespan.
+	Makespan time.Duration
+	// PerDevice holds each device's traffic (workers first, terminal
+	// last).
+	PerDevice []comm.Stats
+}
+
+// Throughput returns completed requests per second over the makespan.
+func (r *PipelineResult) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(r.Outputs)) / r.Makespan.Seconds()
+}
+
+// InferPipeline runs the requests through the pipeline-parallel baseline:
+// the layer stack is split across the K workers and the microbatches
+// stream through the stages. All requests must share the same shape.
+func (c *Cluster) InferPipeline(ctx context.Context, xs []*tensor.Matrix) (*PipelineResult, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("cluster: no pipeline requests")
+	}
+	before := make([]comm.Stats, c.k+1)
+	for r := 0; r <= c.k; r++ {
+		before[r] = c.peers[r].Stats()
+	}
+	res := &PipelineResult{}
+	errs := make([]error, c.k+1)
+	var wg sync.WaitGroup
+	for r := 0; r < c.k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			stage, err := pipeline.ShardLayers(c.models[r], r, c.k)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			pace := func(ctx context.Context, start time.Time, flops int64) error {
+				return c.paceRank(ctx, r, start, flops)
+			}
+			errs[r] = pipeline.RunStage(ctx, c.peers[r], c.terminalRank(), stage, r, c.k, len(xs), pace)
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[c.k] = c.pipelineTerminal(ctx, xs, res)
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: pipeline rank %d: %w", r, err)
+		}
+	}
+	res.PerDevice = make([]comm.Stats, c.k+1)
+	for r := 0; r <= c.k; r++ {
+		after := c.peers[r].Stats()
+		res.PerDevice[r] = comm.Stats{
+			BytesSent: after.BytesSent - before[r].BytesSent,
+			BytesRecv: after.BytesRecv - before[r].BytesRecv,
+			MsgsSent:  after.MsgsSent - before[r].MsgsSent,
+			MsgsRecv:  after.MsgsRecv - before[r].MsgsRecv,
+		}
+	}
+	return res, nil
+}
+
+// pipelineTerminal feeds requests into stage 0 and drains results from the
+// last stage concurrently, so the pipeline actually fills.
+func (c *Cluster) pipelineTerminal(ctx context.Context, xs []*tensor.Matrix, res *PipelineResult) error {
+	p := c.peers[c.terminalRank()]
+	lastStage := c.k - 1
+	start := time.Now()
+
+	sendErr := make(chan error, 1)
+	go func() {
+		for _, x := range xs {
+			if err := p.Send(ctx, 0, tensor.Encode(nil, x)); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	outputs := make([]*tensor.Matrix, 0, len(xs))
+	for i := range xs {
+		blob, err := p.Recv(ctx, lastStage)
+		if err != nil {
+			return err
+		}
+		out, _, err := tensor.Decode(blob)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			res.FirstLatency = time.Since(start)
+		}
+		outputs = append(outputs, out)
+	}
+	res.Makespan = time.Since(start)
+	res.Outputs = outputs
+	return <-sendErr
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is active; timing-based
+// assertions (device pacing vs real compute) are skipped under -race
+// because instrumented math overruns the emulated compute budgets.
+const raceEnabled = true

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"voltage/internal/model"
+	"voltage/internal/netem"
+	"voltage/internal/trace"
+)
+
+func TestRecorderCapturesVoltageBreakdown(t *testing.T) {
+	rec, err := trace.NewRecorder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewMem(model.Tiny().Scaled(4), 3, Options{
+		Profile:  netem.Profile{BandwidthMbps: 100},
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	x := embedTiny(t, c, 24)
+	if _, err := c.Infer(context.Background(), StrategyVoltage, x); err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Snapshot()
+	for _, d := range rep.Devices {
+		if d.Compute <= 0 {
+			t.Fatalf("device %d recorded no compute", d.Rank)
+		}
+		if d.Comm <= 0 {
+			t.Fatalf("device %d recorded no comm", d.Rank)
+		}
+	}
+}
+
+func TestRecorderCapturesTPBreakdown(t *testing.T) {
+	rec, err := trace.NewRecorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewMem(model.Tiny(), 2, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	x := embedTiny(t, c, 12)
+	if _, err := c.Infer(context.Background(), StrategyTensorParallel, x); err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Snapshot()
+	for _, d := range rep.Devices {
+		if d.Compute <= 0 || d.Comm <= 0 {
+			t.Fatalf("device %d breakdown incomplete: %+v", d.Rank, d)
+		}
+	}
+}
+
+func TestTPCommFractionExceedsVoltage(t *testing.T) {
+	// The crux of the paper in one number: under the same bandwidth, TP
+	// spends a larger fraction of its time communicating than Voltage.
+	run := func(strategy Strategy) float64 {
+		rec, err := trace.NewRecorder(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewMem(model.Tiny().Scaled(4), 3, Options{
+			Profile:     netem.Profile{BandwidthMbps: 20, Latency: 200 * time.Microsecond},
+			Recorder:    rec,
+			DeviceFlops: 2e8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		x := embedTiny(t, c, 32)
+		if _, err := c.Infer(context.Background(), strategy, x); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Snapshot().Mean().CommFraction()
+	}
+	v := run(StrategyVoltage)
+	tp := run(StrategyTensorParallel)
+	if tp <= v {
+		t.Fatalf("TP comm fraction %.2f not above Voltage %.2f", tp, v)
+	}
+	t.Logf("comm fraction @20Mbps: voltage=%.2f tensor-parallel=%.2f", v, tp)
+}

@@ -1,0 +1,112 @@
+package comm
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+// floatsToBytes copies a float32 slice into a fresh little-endian byte
+// slice (copied, because Send transfers ownership of its argument).
+func floatsToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+// addFloatBytes adds the little-endian float32 payload into dst.
+func addFloatBytes(dst []float32, payload []byte) {
+	for i := range dst {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+}
+
+// copyFloatBytes overwrites dst with the little-endian float32 payload.
+func copyFloatBytes(dst []float32, payload []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+}
+
+// AllGatherMatrix runs Voltage's between-layer synchronization: every rank
+// contributes its output partition `mine` (rows ranges[rank] of the full
+// matrix) and receives the assembled full matrix. ranges must be the
+// partition scheme's ranges for the current sequence length, identical on
+// every rank.
+//
+// When ring is true the ring all-gather is used; otherwise the naive
+// direct exchange.
+func AllGatherMatrix(ctx context.Context, p Peer, mine *tensor.Matrix, ranges []partition.Range, ring bool) (*tensor.Matrix, error) {
+	if len(ranges) != p.Size() {
+		return nil, fmt.Errorf("comm: %d ranges for %d peers", len(ranges), p.Size())
+	}
+	r := ranges[p.Rank()]
+	if mine.Rows() != r.Len() {
+		return nil, fmt.Errorf("comm: partition has %d rows, range %v wants %d", mine.Rows(), r, r.Len())
+	}
+	total := 0
+	cols := mine.Cols()
+	for _, rr := range ranges {
+		total += rr.Len()
+	}
+
+	gather := AllGather
+	if ring {
+		gather = RingAllGather
+	}
+	blobs, err := gather(ctx, p, tensor.Encode(nil, mine))
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(total, cols)
+	for rank, blob := range blobs {
+		var part *tensor.Matrix
+		if rank == p.Rank() {
+			part = mine
+		} else {
+			decoded, _, err := tensor.Decode(blob)
+			if err != nil {
+				return nil, fmt.Errorf("comm: allgather decode from %d: %w", rank, err)
+			}
+			part = decoded
+		}
+		rr := ranges[rank]
+		if part.Rows() != rr.Len() || part.Cols() != cols {
+			return nil, fmt.Errorf("comm: partition from %d is %dx%d, range %v wants %dx%d",
+				rank, part.Rows(), part.Cols(), rr, rr.Len(), cols)
+		}
+		if rr.Empty() {
+			continue
+		}
+		if err := out.SetRowSlice(rr.From, part); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BroadcastMatrix sends root's matrix to every rank.
+func BroadcastMatrix(ctx context.Context, p Peer, root int, m *tensor.Matrix) (*tensor.Matrix, error) {
+	var blob []byte
+	if p.Rank() == root {
+		blob = tensor.Encode(nil, m)
+	}
+	got, err := Broadcast(ctx, p, root, blob)
+	if err != nil {
+		return nil, err
+	}
+	if p.Rank() == root {
+		return m, nil
+	}
+	decoded, _, err := tensor.Decode(got)
+	if err != nil {
+		return nil, fmt.Errorf("comm: broadcast decode: %w", err)
+	}
+	return decoded, nil
+}

@@ -1,0 +1,285 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"voltage/internal/tensor"
+)
+
+// This file implements the collectives used by the two inference
+// strategies:
+//
+//   - AllGather: Voltage's between-layer synchronization. Per-device
+//     traffic: each device sends its NF/K-row partition to K−1 peers and
+//     receives K−1 partitions — (K−1)·N·F/K values each way, the paper's
+//     "(K−1)NF/K per layer".
+//   - AllReduceSum: tensor parallelism's head/FFN merge. The ring variant
+//     moves 2·(K−1)·N·F/K values per device per call; two calls per layer
+//     give the paper's 4(K−1)NF/K.
+//
+// All collectives are SPMD: every rank must call the same operation in the
+// same order with compatible arguments.
+
+// Broadcast sends root's blob to every peer; non-root ranks receive and
+// return it. Root returns its own data unchanged.
+func Broadcast(ctx context.Context, p Peer, root int, data []byte) ([]byte, error) {
+	if root < 0 || root >= p.Size() {
+		return nil, fmt.Errorf("comm: broadcast root %d of %d", root, p.Size())
+	}
+	if p.Rank() == root {
+		if err := sendToAll(ctx, p, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	return p.Recv(ctx, root)
+}
+
+// Gather collects every rank's blob at root. Root receives all blobs
+// (result[i] = rank i's contribution, result[root] = own data); other
+// ranks send and return nil.
+func Gather(ctx context.Context, p Peer, root int, data []byte) ([][]byte, error) {
+	if root < 0 || root >= p.Size() {
+		return nil, fmt.Errorf("comm: gather root %d of %d", root, p.Size())
+	}
+	if p.Rank() != root {
+		return nil, p.Send(ctx, root, data)
+	}
+	out := make([][]byte, p.Size())
+	out[root] = data
+	var wg sync.WaitGroup
+	errs := make([]error, p.Size())
+	for r := 0; r < p.Size(); r++ {
+		if r == root {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			blob, err := p.Recv(ctx, r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			out[r] = blob
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AllGather exchanges blobs so every rank ends with result[i] = rank i's
+// contribution. This is the naive (direct-exchange) algorithm: each rank
+// sends its blob to the K−1 others.
+func AllGather(ctx context.Context, p Peer, data []byte) ([][]byte, error) {
+	out := make([][]byte, p.Size())
+	out[p.Rank()] = data
+	var wg sync.WaitGroup
+	errs := make([]error, 2*p.Size())
+	for r := 0; r < p.Size(); r++ {
+		if r == p.Rank() {
+			continue
+		}
+		wg.Add(2)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = p.Send(ctx, r, data)
+		}(r)
+		go func(r int) {
+			defer wg.Done()
+			blob, err := p.Recv(ctx, r)
+			if err != nil {
+				errs[p.Size()+r] = err
+				return
+			}
+			out[r] = blob
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RingAllGather is the bandwidth-optimal ring variant: K−1 steps, each
+// forwarding one blob to the next rank. Per-device traffic equals the
+// naive variant ((K−1) blobs each way) but transfers pipeline around the
+// ring instead of fanning out.
+func RingAllGather(ctx context.Context, p Peer, data []byte) ([][]byte, error) {
+	k := p.Size()
+	out := make([][]byte, k)
+	out[p.Rank()] = data
+	if k == 1 {
+		return out, nil
+	}
+	next := (p.Rank() + 1) % k
+	prev := (p.Rank() - 1 + k) % k
+	carry := data
+	carrySrc := p.Rank()
+	for step := 0; step < k-1; step++ {
+		var wg sync.WaitGroup
+		var sendErr, recvErr error
+		var incoming []byte
+		wg.Add(2)
+		go func(blob []byte) {
+			defer wg.Done()
+			sendErr = p.Send(ctx, next, blob)
+		}(carry)
+		go func() {
+			defer wg.Done()
+			incoming, recvErr = p.Recv(ctx, prev)
+		}()
+		wg.Wait()
+		if sendErr != nil {
+			return nil, sendErr
+		}
+		if recvErr != nil {
+			return nil, recvErr
+		}
+		carrySrc = (carrySrc - 1 + k) % k
+		out[carrySrc] = incoming
+		carry = incoming
+	}
+	return out, nil
+}
+
+// AllReduceSum sums the peers' matrices element-wise, leaving every rank
+// with the total. The naive algorithm all-gathers full matrices and
+// reduces locally: per-device traffic (K−1)·N·F each way — the overhead
+// that makes tensor parallelism impractical at the edge.
+func AllReduceSum(ctx context.Context, p Peer, m *tensor.Matrix) (*tensor.Matrix, error) {
+	blobs, err := AllGather(ctx, p, tensor.Encode(nil, m))
+	if err != nil {
+		return nil, err
+	}
+	sum := m.Clone()
+	for r, blob := range blobs {
+		if r == p.Rank() {
+			continue
+		}
+		other, _, err := tensor.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("comm: allreduce decode from %d: %w", r, err)
+		}
+		if err := tensor.AddInPlace(sum, other); err != nil {
+			return nil, fmt.Errorf("comm: allreduce from %d: %w", r, err)
+		}
+	}
+	return sum, nil
+}
+
+// RingAllReduceSum is the bandwidth-optimal ring all-reduce
+// (reduce-scatter followed by all-gather): per-device traffic
+// 2·(K−1)·N·F/K values each way, the figure the paper cites from
+// Megatron-LM. The matrix is chunked along its flat backing array.
+func RingAllReduceSum(ctx context.Context, p Peer, m *tensor.Matrix) (*tensor.Matrix, error) {
+	k := p.Size()
+	out := m.Clone()
+	if k == 1 {
+		return out, nil
+	}
+	data := out.Data()
+	bounds := chunkBounds(len(data), k)
+	next := (p.Rank() + 1) % k
+	prev := (p.Rank() - 1 + k) % k
+
+	// Phase 1: reduce-scatter. After step s, rank r holds the partial sum
+	// of chunk (r−s) accumulated over s+1 ranks.
+	for step := 0; step < k-1; step++ {
+		sendChunk := (p.Rank() - step + k) % k
+		recvChunk := (p.Rank() - step - 1 + k) % k
+		incoming, err := exchangeChunk(ctx, p, next, prev, data, bounds, sendChunk)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := bounds[recvChunk], bounds[recvChunk+1]
+		if len(incoming) != (hi-lo)*4 {
+			return nil, fmt.Errorf("comm: ring allreduce chunk size %d, want %d", len(incoming), (hi-lo)*4)
+		}
+		addFloatBytes(data[lo:hi], incoming)
+	}
+	// Phase 2: all-gather the reduced chunks around the ring.
+	for step := 0; step < k-1; step++ {
+		sendChunk := (p.Rank() + 1 - step + k) % k
+		recvChunk := (p.Rank() - step + k) % k
+		incoming, err := exchangeChunk(ctx, p, next, prev, data, bounds, sendChunk)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := bounds[recvChunk], bounds[recvChunk+1]
+		if len(incoming) != (hi-lo)*4 {
+			return nil, fmt.Errorf("comm: ring allgather chunk size %d, want %d", len(incoming), (hi-lo)*4)
+		}
+		copyFloatBytes(data[lo:hi], incoming)
+	}
+	return out, nil
+}
+
+// chunkBounds splits n elements into k nearly equal contiguous chunks,
+// returning k+1 boundary indices.
+func chunkBounds(n, k int) []int {
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	return bounds
+}
+
+// exchangeChunk concurrently sends data[bounds[c]:bounds[c+1]] to next and
+// receives one chunk from prev.
+func exchangeChunk(ctx context.Context, p Peer, next, prev int, data []float32, bounds []int, c int) ([]byte, error) {
+	lo, hi := bounds[c], bounds[c+1]
+	blob := floatsToBytes(data[lo:hi])
+	var wg sync.WaitGroup
+	var sendErr, recvErr error
+	var incoming []byte
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sendErr = p.Send(ctx, next, blob)
+	}()
+	go func() {
+		defer wg.Done()
+		incoming, recvErr = p.Recv(ctx, prev)
+	}()
+	wg.Wait()
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	if recvErr != nil {
+		return nil, recvErr
+	}
+	return incoming, nil
+}
+
+func sendToAll(ctx context.Context, p Peer, data []byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, p.Size())
+	for r := 0; r < p.Size(); r++ {
+		if r == p.Rank() {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = p.Send(ctx, r, data)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package comm provides the communication substrate of the distributed
+// runtime: point-to-point messaging between ranked peers plus the
+// collectives the two inference strategies need — All-Gather for Voltage's
+// layer synchronization and All-Reduce for the tensor-parallelism baseline.
+//
+// Two transports implement the Peer interface: an in-memory mesh with
+// emulated bandwidth/latency (the default for experiments, mirroring the
+// paper's bandwidth-capped VMs) and a TCP mesh for genuinely distributed
+// deployments.
+package comm
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by operations on a closed peer.
+var ErrClosed = errors.New("comm: peer closed")
+
+// Peer is one ranked endpoint of a fully connected group of Size devices.
+// Implementations must be safe for concurrent use; Send and Recv on
+// distinct (peer, direction) pairs may proceed in parallel, but callers
+// must not issue concurrent Recv calls for the same source rank.
+type Peer interface {
+	// Rank returns this peer's index in [0, Size).
+	Rank() int
+	// Size returns the number of peers in the group.
+	Size() int
+	// Send delivers data to peer `to`. The slice is owned by the callee
+	// after Send returns.
+	Send(ctx context.Context, to int, data []byte) error
+	// Recv returns the next message from peer `from`, blocking until one
+	// arrives, the context is cancelled, or the peer is closed.
+	Recv(ctx context.Context, from int) ([]byte, error)
+	// Stats returns a snapshot of this peer's traffic counters.
+	Stats() Stats
+	// Close releases the peer's resources and unblocks pending operations.
+	Close() error
+}
+
+// Stats counts a peer's traffic. The byte counts are payload bytes (what
+// the paper calls communication size); framing overhead is excluded so the
+// numbers are directly comparable with the analytic formulas.
+type Stats struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+}
+
+// Add returns the element-wise sum of two stats snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		BytesSent: s.BytesSent + o.BytesSent,
+		BytesRecv: s.BytesRecv + o.BytesRecv,
+		MsgsSent:  s.MsgsSent + o.MsgsSent,
+		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
+	}
+}
+
+// counters is the shared atomic implementation of Stats tracking.
+type counters struct {
+	bytesSent, bytesRecv atomic.Int64
+	msgsSent, msgsRecv   atomic.Int64
+}
+
+func (c *counters) sent(n int) {
+	c.bytesSent.Add(int64(n))
+	c.msgsSent.Add(1)
+}
+
+func (c *counters) received(n int) {
+	c.bytesRecv.Add(int64(n))
+	c.msgsRecv.Add(1)
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+	}
+}

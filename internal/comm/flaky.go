@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected marks failures produced by the fault-injection wrapper.
+var ErrInjected = errors.New("comm: injected failure")
+
+// FlakyPeer wraps a Peer with deterministic fault injection for robustness
+// tests: it can fail sends after a countdown, corrupt payloads, or drop
+// messages silently. All counters are global across links so tests can
+// target "the n-th operation".
+type FlakyPeer struct {
+	// Inner is the wrapped peer.
+	Inner Peer
+	// FailSendAfter makes the (n+1)-th Send return ErrInjected (0 =
+	// disabled; 1 means the first send fails).
+	FailSendAfter int64
+	// CorruptEvery corrupts every n-th sent payload by flipping its first
+	// byte (0 = disabled). Zero-length payloads pass through.
+	CorruptEvery int64
+	// DropEvery silently discards every n-th sent message (0 = disabled):
+	// the send "succeeds" but nothing arrives, modeling a lossy link with
+	// no transport-level recovery.
+	DropEvery int64
+
+	sends atomic.Int64
+}
+
+var _ Peer = (*FlakyPeer)(nil)
+
+// Rank implements Peer.
+func (f *FlakyPeer) Rank() int { return f.Inner.Rank() }
+
+// Size implements Peer.
+func (f *FlakyPeer) Size() int { return f.Inner.Size() }
+
+// Send implements Peer with the configured fault behaviour.
+func (f *FlakyPeer) Send(ctx context.Context, to int, data []byte) error {
+	n := f.sends.Add(1)
+	if f.FailSendAfter > 0 && n >= f.FailSendAfter {
+		return ErrInjected
+	}
+	if f.DropEvery > 0 && n%f.DropEvery == 0 {
+		return nil // swallowed
+	}
+	if f.CorruptEvery > 0 && n%f.CorruptEvery == 0 && len(data) > 0 {
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		corrupted[0] ^= 0xFF
+		return f.Inner.Send(ctx, to, corrupted)
+	}
+	return f.Inner.Send(ctx, to, data)
+}
+
+// Recv implements Peer.
+func (f *FlakyPeer) Recv(ctx context.Context, from int) ([]byte, error) {
+	return f.Inner.Recv(ctx, from)
+}
+
+// Stats implements Peer.
+func (f *FlakyPeer) Stats() Stats { return f.Inner.Stats() }
+
+// Close implements Peer.
+func (f *FlakyPeer) Close() error { return f.Inner.Close() }

@@ -1,0 +1,112 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"voltage/internal/netem"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+func TestFlakyFailSendAfter(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	f := &FlakyPeer{Inner: peers[0], FailSendAfter: 2}
+	ctx := context.Background()
+	if err := f.Send(ctx, 1, []byte("ok")); err != nil {
+		t.Fatalf("first send should pass: %v", err)
+	}
+	if err := f.Send(ctx, 1, []byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second send: want ErrInjected, got %v", err)
+	}
+	if _, err := peers[1].Recv(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlakyCorruptionDetectedByDecoder(t *testing.T) {
+	// A corrupted tensor frame must surface as a decode error in
+	// AllGatherMatrix, not silent wrong results or a hang.
+	peers := memPair(t, 2, netem.Unlimited)
+	full := tensor.NewRNG(1).Normal(4, 2, 1)
+	scheme, _ := partition.Even(2)
+	ranges, _ := scheme.Ranges(4)
+
+	flaky := &FlakyPeer{Inner: peers[0], CorruptEvery: 1} // corrupt everything
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	errs := make(chan error, 2)
+	go func() {
+		mine, _ := full.RowSlice(0, 2)
+		_, err := AllGatherMatrix(ctx, flaky, mine, ranges, false)
+		errs <- err
+	}()
+	go func() {
+		mine, _ := full.RowSlice(2, 4)
+		_, err := AllGatherMatrix(ctx, peers[1], mine, ranges, false)
+		errs <- err
+	}()
+	sawError := false
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Fatal("corruption went undetected")
+	}
+}
+
+func TestFlakyDropCausesTimeoutNotHang(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	flaky := &FlakyPeer{Inner: peers[0], DropEvery: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := flaky.Send(ctx, 1, []byte("vanishes")); err != nil {
+		t.Fatalf("dropped send should report success: %v", err)
+	}
+	if _, err := peers[1].Recv(ctx, 0); err == nil {
+		t.Fatal("recv of dropped message should time out")
+	}
+}
+
+func TestFlakyDelegation(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	f := &FlakyPeer{Inner: peers[0]}
+	if f.Rank() != 0 || f.Size() != 2 {
+		t.Fatal("delegation broken")
+	}
+	ctx := context.Background()
+	go func() { _ = f.Send(ctx, 1, []byte("x")) }()
+	if _, err := peers[1].Recv(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().BytesSent != 1 {
+		t.Fatal("stats not delegated")
+	}
+	_ = f.Close()
+	if _, err := f.Recv(ctx, 1); err != ErrClosed {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+func TestFlakyCorruptionDoesNotMutateCallerBuffer(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	f := &FlakyPeer{Inner: peers[0], CorruptEvery: 1}
+	ctx := context.Background()
+	payload := []byte{0x42, 0x43}
+	go func() { _ = f.Send(ctx, 1, payload) }()
+	got, err := peers[1].Recv(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x42^0xFF {
+		t.Fatalf("payload not corrupted on the wire: %x", got[0])
+	}
+	if payload[0] != 0x42 {
+		t.Fatal("caller's buffer mutated")
+	}
+}

@@ -1,0 +1,130 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"voltage/internal/netem"
+	"voltage/internal/partition"
+	"voltage/internal/quantize"
+	"voltage/internal/tensor"
+)
+
+func TestAllGatherMatrixQAssembles(t *testing.T) {
+	for _, ring := range []bool{false, true} {
+		t.Run(fmt.Sprintf("ring=%v", ring), func(t *testing.T) {
+			peers := memPair(t, 3, netem.Unlimited)
+			full := tensor.NewRNG(21).Normal(12, 8, 1)
+			scheme, _ := partition.Even(3)
+			ranges, _ := scheme.Ranges(12)
+			// Reference: what every rank should see — the quantization
+			// round trip of each partition.
+			want := tensor.New(12, 8)
+			for _, r := range ranges {
+				part, _ := full.RowSlice(r.From, r.To)
+				if err := want.SetRowSlice(r.From, quantize.Roundtrip(part)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			runSPMD(t, peers, func(p Peer) error {
+				r := ranges[p.Rank()]
+				mine, err := full.RowSlice(r.From, r.To)
+				if err != nil {
+					return err
+				}
+				got, err := AllGatherMatrixQ(context.Background(), p, mine, ranges, ring)
+				if err != nil {
+					return err
+				}
+				if !got.Equal(want) {
+					return fmt.Errorf("rank %d: quantized assembly differs from reference", p.Rank())
+				}
+				d, err := got.MaxAbsDiff(full)
+				if err != nil {
+					return err
+				}
+				if d > quantize.MaxError(full)+1e-6 {
+					return fmt.Errorf("rank %d: deviation %v beyond bound", p.Rank(), d)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllGatherMatrixQConsistentAcrossRanks(t *testing.T) {
+	// The critical consistency property: every rank must assemble the
+	// SAME matrix (including the quantized view of its own partition), or
+	// the devices' layer inputs would drift apart.
+	peers := memPair(t, 2, netem.Unlimited)
+	full := tensor.NewRNG(22).Normal(6, 4, 1)
+	scheme, _ := partition.Even(2)
+	ranges, _ := scheme.Ranges(6)
+	results := make([]*tensor.Matrix, 2)
+	runSPMD(t, peers, func(p Peer) error {
+		mine, err := full.RowSlice(ranges[p.Rank()].From, ranges[p.Rank()].To)
+		if err != nil {
+			return err
+		}
+		got, err := AllGatherMatrixQ(context.Background(), p, mine, ranges, false)
+		if err != nil {
+			return err
+		}
+		results[p.Rank()] = got
+		return nil
+	})
+	if !results[0].Equal(results[1]) {
+		t.Fatal("ranks assembled different matrices")
+	}
+}
+
+func TestAllGatherMatrixQValidation(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	m := tensor.New(3, 2)
+	if _, err := AllGatherMatrixQ(context.Background(), peers[0], m, []partition.Range{{From: 0, To: 3}}, false); err == nil {
+		t.Fatal("want error for range count mismatch")
+	}
+	ranges := []partition.Range{{From: 0, To: 5}, {From: 5, To: 10}}
+	if _, err := AllGatherMatrixQ(context.Background(), peers[0], m, ranges, false); err == nil {
+		t.Fatal("want error for row mismatch")
+	}
+}
+
+func TestAllGatherMatrixQTrafficQuarter(t *testing.T) {
+	k, n, f := 4, 64, 128
+	peers := memPair(t, k, netem.Unlimited)
+	full := tensor.NewRNG(23).Normal(n, f, 1)
+	scheme, _ := partition.Even(k)
+	ranges, _ := scheme.Ranges(n)
+	runSPMD(t, peers, func(p Peer) error {
+		mine, err := full.RowSlice(ranges[p.Rank()].From, ranges[p.Rank()].To)
+		if err != nil {
+			return err
+		}
+		_, err = AllGatherMatrixQ(context.Background(), p, mine, ranges, false)
+		return err
+	})
+	floatBytes := int64((k - 1) * tensor.EncodedSize(n/k, f))
+	for _, p := range peers {
+		sent := p.Stats().BytesSent
+		ratio := float64(floatBytes) / float64(sent)
+		if ratio < 3.5 || ratio > 4.2 {
+			t.Fatalf("rank %d traffic reduction %.2f, want ≈4", p.Rank(), ratio)
+		}
+	}
+}
+
+func TestSubgroupClose(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	s, err := NewSubgroup(peers[0], []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peers[1].Recv(context.Background(), 0); err != ErrClosed {
+		t.Fatalf("base mesh not closed through subgroup: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"voltage/internal/netem"
+)
+
+func TestNewSubgroupValidation(t *testing.T) {
+	peers := memPair(t, 4, netem.Unlimited)
+	if _, err := NewSubgroup(peers[0], nil); err == nil {
+		t.Fatal("want error for empty subgroup")
+	}
+	if _, err := NewSubgroup(peers[0], []int{0, 9}); err == nil {
+		t.Fatal("want error for OOB member")
+	}
+	if _, err := NewSubgroup(peers[0], []int{0, 0}); err == nil {
+		t.Fatal("want error for duplicate member")
+	}
+	if _, err := NewSubgroup(peers[0], []int{1, 2}); err == nil {
+		t.Fatal("want error when base rank not a member")
+	}
+}
+
+func TestSubgroupRankTranslation(t *testing.T) {
+	peers := memPair(t, 4, netem.Unlimited)
+	// Subgroup of base ranks {1, 3}: local ranks 0 and 1.
+	s1, err := NewSubgroup(peers[1], []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := NewSubgroup(peers[3], []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Rank() != 0 || s3.Rank() != 1 || s1.Size() != 2 {
+		t.Fatalf("ranks %d/%d size %d", s1.Rank(), s3.Rank(), s1.Size())
+	}
+	ctx := context.Background()
+	go func() { _ = s1.Send(ctx, 1, []byte("via subgroup")) }()
+	got, err := s3.Recv(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "via subgroup" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSubgroupRankBounds(t *testing.T) {
+	peers := memPair(t, 3, netem.Unlimited)
+	s, err := NewSubgroup(peers[0], []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(context.Background(), 5, nil); err == nil {
+		t.Fatal("want error for OOB subgroup send")
+	}
+	if _, err := s.Recv(context.Background(), -1); err == nil {
+		t.Fatal("want error for OOB subgroup recv")
+	}
+}
+
+func TestSubgroupCollectives(t *testing.T) {
+	// An All-Gather inside a 3-member subgroup of a 5-mesh must involve
+	// only the members.
+	peers := memPair(t, 5, netem.Unlimited)
+	members := []int{0, 2, 4}
+	errs := make(chan error, len(members))
+	for _, m := range members {
+		go func(m int) {
+			s, err := NewSubgroup(peers[m], members)
+			if err != nil {
+				errs <- err
+				return
+			}
+			out, err := AllGather(context.Background(), s, []byte{byte(m)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, b := range out {
+				if b[0] != byte(members[i]) {
+					errs <- fmt.Errorf("member %d: out[%d] = %d", m, i, b[0])
+					return
+				}
+			}
+			errs <- nil
+		}(m)
+	}
+	for range members {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-members saw no traffic.
+	for _, outside := range []int{1, 3} {
+		if s := peers[outside].Stats(); s.BytesRecv != 0 || s.BytesSent != 0 {
+			t.Fatalf("non-member %d has traffic %+v", outside, s)
+		}
+	}
+}
+
+func TestSubgroupStatsDelegate(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	s0, _ := NewSubgroup(peers[0], []int{0, 1})
+	s1, _ := NewSubgroup(peers[1], []int{0, 1})
+	ctx := context.Background()
+	go func() { _ = s0.Send(ctx, 1, make([]byte, 10)) }()
+	if _, err := s1.Recv(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s0.Stats().BytesSent != 10 {
+		t.Fatal("stats not delegated")
+	}
+}

@@ -1,0 +1,248 @@
+package comm
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"voltage/internal/netem"
+)
+
+// TCPPeer is a peer whose links are real TCP connections, one per remote
+// rank, with length-prefixed frames. Optional egress shaping emulates a
+// bandwidth-capped NIC even on loopback.
+//
+// Frame format: uint32 little-endian payload length, then the payload.
+type TCPPeer struct {
+	rank    int
+	size    int
+	conns   []net.Conn // conns[r] for r != rank
+	egress  *netem.NIC
+	latency time.Duration
+
+	sendMu []sync.Mutex // per-destination write locks
+	recvMu []sync.Mutex // per-source read locks
+
+	closeOnce sync.Once
+	done      chan struct{}
+	stats     counters
+}
+
+var _ Peer = (*TCPPeer)(nil)
+
+// maxFrame bounds a frame payload to protect against corrupt length
+// prefixes (1 GiB).
+const maxFrame = 1 << 30
+
+// Rank implements Peer.
+func (p *TCPPeer) Rank() int { return p.rank }
+
+// Size implements Peer.
+func (p *TCPPeer) Size() int { return p.size }
+
+// Send implements Peer.
+func (p *TCPPeer) Send(ctx context.Context, to int, data []byte) error {
+	if to < 0 || to >= p.size || to == p.rank {
+		return fmt.Errorf("comm: send to invalid rank %d from %d", to, p.rank)
+	}
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	if p.egress != nil {
+		end := p.egress.Reserve(time.Now(), len(data))
+		if err := netem.SleepUntil(ctx, end); err != nil {
+			return err
+		}
+	}
+	p.sendMu[to].Lock()
+	defer p.sendMu[to].Unlock()
+	conn := p.conns[to]
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetWriteDeadline(dl)
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("comm: write header to %d: %w", to, err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("comm: write body to %d: %w", to, err)
+	}
+	p.stats.sent(len(data))
+	return nil
+}
+
+// Recv implements Peer.
+func (p *TCPPeer) Recv(ctx context.Context, from int) ([]byte, error) {
+	if from < 0 || from >= p.size || from == p.rank {
+		return nil, fmt.Errorf("comm: recv from invalid rank %d at %d", from, p.rank)
+	}
+	select {
+	case <-p.done:
+		return nil, ErrClosed
+	default:
+	}
+	p.recvMu[from].Lock()
+	defer p.recvMu[from].Unlock()
+	conn := p.conns[from]
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetReadDeadline(dl)
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, fmt.Errorf("comm: read header from %d: %w", from, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("comm: frame from %d too large: %d bytes", from, n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(conn, data); err != nil {
+		return nil, fmt.Errorf("comm: read body from %d: %w", from, err)
+	}
+	if p.latency > 0 {
+		if err := netem.SleepUntil(ctx, time.Now().Add(p.latency)); err != nil {
+			return nil, err
+		}
+	}
+	p.stats.received(len(data))
+	return data, nil
+}
+
+// Stats implements Peer.
+func (p *TCPPeer) Stats() Stats { return p.stats.snapshot() }
+
+// Close implements Peer, closing every connection.
+func (p *TCPPeer) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		close(p.done)
+		for _, c := range p.conns {
+			if c != nil {
+				if cerr := c.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+	})
+	return err
+}
+
+// NewLocalTCPMesh builds a fully connected group of k TCP peers over
+// loopback, with optional egress shaping per the profile. It is used by
+// integration tests and by single-host multi-process experiments.
+func NewLocalTCPMesh(ctx context.Context, k int, profile netem.Profile) ([]*TCPPeer, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("comm: mesh size %d < 1", k)
+	}
+	listeners := make([]net.Listener, k)
+	addrs := make([]string, k)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll(listeners)
+			return nil, fmt.Errorf("comm: listen: %w", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	peers := make([]*TCPPeer, k)
+	for i := range peers {
+		peers[i] = newTCPPeer(i, k, profile)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, k*k)
+	// Accept side: rank i accepts connections from every higher rank; the
+	// dialer introduces itself with a 4-byte rank header.
+	for i := 0; i < k; i++ {
+		expected := k - 1 - i
+		wg.Add(1)
+		go func(i, expected int) {
+			defer wg.Done()
+			for c := 0; c < expected; c++ {
+				conn, err := listeners[i].Accept()
+				if err != nil {
+					errs <- fmt.Errorf("comm: accept at %d: %w", i, err)
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					errs <- fmt.Errorf("comm: handshake at %d: %w", i, err)
+					return
+				}
+				from := int(binary.LittleEndian.Uint32(hdr[:]))
+				if from <= i || from >= k {
+					errs <- fmt.Errorf("comm: bad handshake rank %d at %d", from, i)
+					return
+				}
+				peers[i].conns[from] = conn
+			}
+		}(i, expected)
+	}
+	// Dial side: rank j dials every lower rank.
+	for j := 1; j < k; j++ {
+		for i := 0; i < j; i++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				var d net.Dialer
+				conn, err := d.DialContext(ctx, "tcp", addrs[i])
+				if err != nil {
+					errs <- fmt.Errorf("comm: dial %d→%d: %w", j, i, err)
+					return
+				}
+				var hdr [4]byte
+				binary.LittleEndian.PutUint32(hdr[:], uint32(j))
+				if _, err := conn.Write(hdr[:]); err != nil {
+					errs <- fmt.Errorf("comm: handshake %d→%d: %w", j, i, err)
+					return
+				}
+				peers[j].conns[i] = conn
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	closeAll(listeners)
+	select {
+	case err := <-errs:
+		for _, p := range peers {
+			_ = p.Close()
+		}
+		return nil, err
+	default:
+	}
+	return peers, nil
+}
+
+func newTCPPeer(rank, size int, profile netem.Profile) *TCPPeer {
+	p := &TCPPeer{
+		rank:    rank,
+		size:    size,
+		conns:   make([]net.Conn, size),
+		sendMu:  make([]sync.Mutex, size),
+		recvMu:  make([]sync.Mutex, size),
+		latency: profile.Latency,
+		done:    make(chan struct{}),
+	}
+	if profile.Rate() > 0 {
+		p.egress = netem.NewNIC(profile.Rate())
+	}
+	return p
+}
+
+func closeAll(ls []net.Listener) {
+	for _, l := range ls {
+		if l != nil {
+			_ = l.Close()
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package comm
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"voltage/internal/netem"
+)
+
+// NewTCPMesh joins a cross-process full mesh: the caller is rank `rank` of
+// len(addrs) peers, listens on addrs[rank], accepts connections from every
+// higher rank and dials every lower rank (retrying until the remote
+// listener is up or ctx expires). All processes must share the same addrs
+// list.
+//
+// This is the transport behind cmd/voltage-worker: each edge device runs
+// one process and the mesh assembles itself from the shared address list.
+func NewTCPMesh(ctx context.Context, rank int, addrs []string, profile netem.Profile) (*TCPPeer, error) {
+	k := len(addrs)
+	if k < 1 {
+		return nil, fmt.Errorf("comm: empty address list")
+	}
+	if rank < 0 || rank >= k {
+		return nil, fmt.Errorf("comm: rank %d of %d", rank, k)
+	}
+	p := newTCPPeer(rank, k, profile)
+	if k == 1 {
+		return p, nil
+	}
+
+	l, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, k)
+
+	// Accept from higher ranks.
+	expected := k - 1 - rank
+	if expected > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < expected; c++ {
+				if dl, ok := ctx.Deadline(); ok {
+					type deadliner interface{ SetDeadline(time.Time) error }
+					if d, ok := l.(deadliner); ok {
+						_ = d.SetDeadline(dl)
+					}
+				}
+				conn, err := l.Accept()
+				if err != nil {
+					errCh <- fmt.Errorf("comm: accept: %w", err)
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					errCh <- fmt.Errorf("comm: handshake read: %w", err)
+					return
+				}
+				from := int(binary.LittleEndian.Uint32(hdr[:]))
+				if from <= rank || from >= k || p.conns[from] != nil {
+					errCh <- fmt.Errorf("comm: unexpected handshake rank %d", from)
+					return
+				}
+				p.conns[from] = conn
+			}
+		}()
+	}
+
+	// Dial lower ranks with retry (peers may start in any order).
+	for to := 0; to < rank; to++ {
+		wg.Add(1)
+		go func(to int) {
+			defer wg.Done()
+			conn, err := dialRetry(ctx, addrs[to])
+			if err != nil {
+				errCh <- fmt.Errorf("comm: dial rank %d (%s): %w", to, addrs[to], err)
+				return
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errCh <- fmt.Errorf("comm: handshake write to %d: %w", to, err)
+				return
+			}
+			p.conns[to] = conn
+		}(to)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		_ = p.Close()
+		return nil, err
+	default:
+	}
+	return p, nil
+}
+
+// dialRetry dials with exponential backoff until success or ctx expiry.
+func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	backoff := 50 * time.Millisecond
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}

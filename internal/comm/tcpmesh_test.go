@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"voltage/internal/netem"
+)
+
+// freeAddrs reserves n loopback ports and returns their addresses.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		_ = l.Close()
+	}
+	return addrs
+}
+
+func TestNewTCPMeshValidation(t *testing.T) {
+	if _, err := NewTCPMesh(context.Background(), 0, nil, netem.Unlimited); err == nil {
+		t.Fatal("want error for empty addrs")
+	}
+	if _, err := NewTCPMesh(context.Background(), 3, []string{"a", "b"}, netem.Unlimited); err == nil {
+		t.Fatal("want error for rank OOB")
+	}
+}
+
+func TestNewTCPMeshSinglePeer(t *testing.T) {
+	p, err := NewTCPMesh(context.Background(), 0, []string{"127.0.0.1:0"}, netem.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatal("size")
+	}
+}
+
+func TestNewTCPMeshCrossGoroutine(t *testing.T) {
+	// Emulate 3 processes joining the mesh concurrently (with rank 2
+	// starting late to exercise dial retry).
+	addrs := freeAddrs(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	peers := make([]*TCPPeer, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == 2 {
+				time.Sleep(100 * time.Millisecond)
+			}
+			peers[r], errs[r] = NewTCPMesh(ctx, r, addrs, netem.Unlimited)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	defer func() {
+		for _, p := range peers {
+			_ = p.Close()
+		}
+	}()
+	// Exercise a collective over the assembled mesh.
+	results := make(chan error, 3)
+	for r := 0; r < 3; r++ {
+		go func(r int) {
+			out, err := AllGather(ctx, peers[r], []byte{byte(r + 10)})
+			if err == nil {
+				for i, b := range out {
+					if b[0] != byte(i+10) {
+						err = fmt.Errorf("rank %d: out[%d] = %d", r, i, b[0])
+						break
+					}
+				}
+			}
+			results <- err
+		}(r)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewTCPMeshDialTimeout(t *testing.T) {
+	// Rank 1 dials rank 0 which never listens: must give up at ctx expiry.
+	addrs := freeAddrs(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := NewTCPMesh(ctx, 1, addrs, netem.Unlimited)
+	if err == nil {
+		t.Fatal("want error when peer never appears")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("dial retry did not honor context deadline")
+	}
+}

@@ -1,0 +1,312 @@
+package flopcount
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func shape(n, p, f, fh int) Shape { return Shape{N: n, P: p, F: f, FH: fh} }
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Shape
+		ok   bool
+	}{
+		{"valid", shape(100, 10, 512, 64), true},
+		{"P equals N", shape(100, 100, 512, 64), true},
+		{"P one", shape(100, 1, 512, 64), true},
+		{"zero N", shape(0, 1, 512, 64), false},
+		{"P zero", shape(100, 0, 512, 64), false},
+		{"P above N", shape(100, 101, 512, 64), false},
+		{"zero F", shape(100, 10, 0, 64), false},
+		{"zero FH", shape(100, 10, 512, 0), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.s.Validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("Validate(%+v) = %v, want ok=%v", c.s, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestHeads(t *testing.T) {
+	if h := shape(10, 5, 512, 64).Heads(); h != 8 {
+		t.Fatalf("Heads = %d, want 8", h)
+	}
+	if h := shape(10, 5, 500, 64).Heads(); h != 0 {
+		t.Fatalf("Heads = %d for non-divisible, want 0", h)
+	}
+}
+
+func TestMatMulCost(t *testing.T) {
+	if got := MatMulCost(3, 4, 5); got != 60 {
+		t.Fatalf("MatMulCost = %d, want 60", got)
+	}
+}
+
+func TestCostUnknownOrder(t *testing.T) {
+	if _, err := Cost(shape(10, 5, 64, 8), Order(99)); err == nil {
+		t.Fatal("want error for unknown order")
+	}
+	if _, err := Cost(shape(0, 0, 0, 0), OrderNaive); err == nil {
+		t.Fatal("want error for invalid shape")
+	}
+}
+
+func TestCostMatchesTheorem1ClosedForm(t *testing.T) {
+	// Γ(Eq. 3) = P·F·FH + 2·P·N·FH + 2·N·F·FH + elementwise.
+	f := func(seed int64) bool {
+		s := randomShape(seed, 2)
+		return MustCost(s, OrderNaive) == Theorem1Cost(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostMatchesTheorem3ClosedForm(t *testing.T) {
+	// Γ(Eq. 8) = 3·P·F·FH + 2·P·N·F + elementwise.
+	f := func(seed int64) bool {
+		s := randomShape(seed, 2)
+		return MustCost(s, OrderReordered) == Theorem3Cost(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomShape builds a multi-head-consistent shape (F = H·FH, H ≥ minHeads)
+// from a seed, deterministically.
+func randomShape(seed int64, minHeads int) Shape {
+	x := uint64(seed)
+	next := func(mod int) int {
+		x = x*6364136223846793005 + 1442695040888963407
+		return int(x>>33) % mod
+	}
+	h := minHeads + next(15)
+	fh := 1 + next(96)
+	n := 1 + next(400)
+	p := 1 + next(n)
+	return Shape{N: n, P: p, F: h * fh, FH: fh}
+}
+
+func TestTheorem2PredicateMatchesDirectComparison(t *testing.T) {
+	// PreferReordered ⟺ Cost(reordered) < Cost(naive)... up to the
+	// elementwise term which is identical for both, so the comparison is
+	// exact.
+	f := func(seed int64) bool {
+		s := randomShape(seed, 2)
+		return PreferReordered(s) == (MustCost(s, OrderReordered) < MustCost(s, OrderNaive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem2OnlyTwoCandidatesOptimal(t *testing.T) {
+	// For multi-head shapes (H ≥ 2), the brute-force optimum over all
+	// orders must equal the minimum of the two Theorem 2 candidates.
+	f := func(seed int64) bool {
+		s := randomShape(seed, 2)
+		_, bestCost, err := BestOrderBruteForce(s)
+		if err != nil {
+			return false
+		}
+		c1 := MustCost(s, OrderNaive)
+		c2 := MustCost(s, OrderReordered)
+		minC := c1
+		if c2 < minC {
+			minC = c2
+		}
+		return bestCost == minC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectOrderIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomShape(seed, 2)
+		_, bestCost, err := BestOrderBruteForce(s)
+		if err != nil {
+			return false
+		}
+		return MustCost(s, SelectOrder(s)) == bestCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleHeadFusedQKCanWin(t *testing.T) {
+	// The paper's "deceptive" optimization: precomputing WQ·WKᵀ genuinely
+	// helps single-head attention (F == FH) but not multi-head.
+	s := Shape{N: 100, P: 10, F: 64, FH: 64}
+	fused := MustCost(s, OrderFusedQKLate)
+	reordered := MustCost(s, OrderReordered)
+	if fused >= reordered {
+		t.Fatalf("single-head: fused %d should beat reordered %d", fused, reordered)
+	}
+	// Multi-head (H = 8): fused is never better than the Theorem 2 pick.
+	m := Shape{N: 100, P: 10, F: 512, FH: 64}
+	pick := MustCost(m, SelectOrder(m))
+	for _, o := range []Order{OrderFusedQKEarly, OrderFusedQKLate, OrderFusedQKRight} {
+		if MustCost(m, o) < pick {
+			t.Fatalf("multi-head: %v beats Theorem 2 pick", o)
+		}
+	}
+}
+
+func TestFullPartitionPrefersNaive(t *testing.T) {
+	// Theorem 2 remark: with P = N (single device) the original
+	// computation flow is already optimal.
+	for _, fh := range []int{32, 64, 128} {
+		s := Shape{N: 200, P: 200, F: 8 * fh, FH: fh}
+		if PreferReordered(s) {
+			t.Fatalf("P=N should prefer naive for FH=%d", fh)
+		}
+		if got := SelectOrder(s); got != OrderNaive {
+			t.Fatalf("SelectOrder(P=N) = %v", got)
+		}
+	}
+}
+
+func TestSmallPartitionPrefersReordered(t *testing.T) {
+	// With a tiny partition of a long sequence the K,V bottleneck makes
+	// the reordered method win.
+	s := Shape{N: 1000, P: 1, F: 1024, FH: 64}
+	if !PreferReordered(s) {
+		t.Fatal("P=1, N=1000 should prefer reordered")
+	}
+	if got := SelectOrder(s); got != OrderReordered {
+		t.Fatalf("SelectOrder = %v", got)
+	}
+}
+
+func TestCrossoverK(t *testing.T) {
+	// CrossoverK must be the first K whose P = ceil(N/K) partition flips
+	// the predicate. We verify against the inequality K > (F−FH)N/(F·FH)+1.
+	cases := []struct{ n, f, fh int }{
+		{100, 1024, 64}, {200, 1024, 64}, {300, 1024, 64},
+		{100, 1024, 128}, {200, 1024, 256}, {300, 512, 64},
+	}
+	for _, c := range cases {
+		k := CrossoverK(c.n, c.f, c.fh)
+		if k < 1 {
+			t.Fatalf("CrossoverK = %d", k)
+		}
+		// K strictly above the analytic threshold.
+		lhs := int64(k-1) * int64(c.f) * int64(c.fh) // (K−1)·F·FH
+		rhs := int64(c.f-c.fh) * int64(c.n)          // (F−FH)·N
+		if lhs <= rhs {
+			t.Fatalf("CrossoverK(%+v) = %d does not satisfy K−1 > (F−FH)N/(F·FH)", c, k)
+		}
+		// K−1 must NOT satisfy it (minimality), unless K == 1.
+		if k > 1 {
+			lhsPrev := int64(k-2) * int64(c.f) * int64(c.fh)
+			if lhsPrev > rhs {
+				t.Fatalf("CrossoverK(%+v) = %d not minimal", c, k)
+			}
+		}
+	}
+}
+
+func TestCrossoverKConsistentWithPredicate(t *testing.T) {
+	n, f, fh := 300, 1024, 256
+	k := CrossoverK(n, f, fh)
+	// At K the predicate holds for P = N/K (exact division not required:
+	// use floor, the largest partition).
+	pAt := n / k
+	if pAt < 1 {
+		pAt = 1
+	}
+	if !PreferReordered(Shape{N: n, P: pAt, F: f, FH: fh}) {
+		t.Fatalf("predicate false at K=%d (P=%d)", k, pAt)
+	}
+}
+
+func TestNaiveHasConstantTermBottleneck(t *testing.T) {
+	// Theorem 1: as K→∞ (P→1) the naive cost approaches 2·N·F·FH, a
+	// constant independent of P; the reordered cost keeps shrinking.
+	n, f, fh := 300, 1024, 64
+	naiveAtP1 := MustCost(Shape{N: n, P: 1, F: f, FH: fh}, OrderNaive)
+	floor := 2 * int64(n) * int64(f) * int64(fh)
+	if naiveAtP1 < floor {
+		t.Fatalf("naive cost %d below its constant term %d", naiveAtP1, floor)
+	}
+	reorderedAtP1 := MustCost(Shape{N: n, P: 1, F: f, FH: fh}, OrderReordered)
+	if reorderedAtP1 >= floor {
+		t.Fatalf("reordered cost %d did not escape the bottleneck %d", reorderedAtP1, floor)
+	}
+}
+
+func TestTheorem3LinearScaling(t *testing.T) {
+	// Γ(Algorithm 1) = O(1/K): doubling K should roughly halve the
+	// selected-order cost once past the crossover.
+	n, f, fh := 300, 1024, 256
+	cost := func(k int) int64 {
+		p := n / k
+		s := Shape{N: n, P: p, F: f, FH: fh}
+		return MustCost(s, SelectOrder(s))
+	}
+	k0 := CrossoverK(n, f, fh)
+	c1 := cost(k0)
+	c2 := cost(2 * k0)
+	ratio := float64(c1) / float64(c2)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("doubling K gave speed-up %.2f, want ≈2", ratio)
+	}
+}
+
+func TestLayerCost(t *testing.T) {
+	s := Shape{N: 128, P: 16, F: 512, FH: 64}
+	got, err := LayerCost(s, 8, 2048, SelectOrder(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := MustCost(s, SelectOrder(s))
+	p, f, dff := int64(16), int64(512), int64(2048)
+	want := 8*head + p*f*f + 2*p*f*dff + 4*p*f
+	if got != want {
+		t.Fatalf("LayerCost = %d, want %d", got, want)
+	}
+	if _, err := LayerCost(Shape{}, 8, 2048, OrderNaive); err == nil {
+		t.Fatal("want error for invalid shape")
+	}
+}
+
+func TestLayerCostScalesWithP(t *testing.T) {
+	// Theorem 3 at the layer level: the whole partitioned layer is O(P)
+	// once the reordered branch is active.
+	n, f, fh, h, dff := 400, 1024, 256, 4, 4096
+	costAt := func(p int) int64 {
+		s := Shape{N: n, P: p, F: f, FH: fh}
+		c, err := LayerCost(s, h, dff, SelectOrder(s))
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	c40 := costAt(40) // K = 10
+	c20 := costAt(20) // K = 20
+	ratio := float64(c40) / float64(c20)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("halving P gave ratio %.2f, want ≈2", ratio)
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	for _, o := range AllOrders {
+		if s := o.String(); s == "" || strings.HasPrefix(s, "Order(") {
+			t.Fatalf("missing String for %d", int(o))
+		}
+	}
+	if Order(42).String() != "Order(42)" {
+		t.Fatal("unknown order String")
+	}
+}

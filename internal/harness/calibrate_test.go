@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"voltage/internal/cluster"
+	"voltage/internal/costmodel"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+)
+
+func TestMeasureDeviceFlops(t *testing.T) {
+	flops := MeasureDeviceFlops()
+	// Sanity: between 10 MMAC/s and 1 TMAC/s on any machine this runs on.
+	if flops < 1e7 || flops > 1e12 {
+		t.Fatalf("implausible throughput %v MAC/s", flops)
+	}
+}
+
+func TestBandwidthScale(t *testing.T) {
+	if got := BandwidthScale(costmodel.EdgeCPU.FlopsPerSec); got != 1 {
+		t.Fatalf("scale at paper speed = %v, want 1", got)
+	}
+	if got := BandwidthScale(costmodel.EdgeCPU.FlopsPerSec / 2); got != 0.5 {
+		t.Fatalf("scale at half speed = %v, want 0.5", got)
+	}
+	if got := BandwidthScale(0); got != 1 {
+		t.Fatalf("scale at 0 = %v, want fallback 1", got)
+	}
+}
+
+func TestCalibratedProfile(t *testing.T) {
+	p := netem.Profile{BandwidthMbps: 500, Latency: time.Millisecond}
+	c := CalibratedProfile(p, costmodel.EdgeCPU.FlopsPerSec/10)
+	if c.BandwidthMbps != 50 {
+		t.Fatalf("calibrated bandwidth %v, want 50", c.BandwidthMbps)
+	}
+	if c.Latency != time.Millisecond {
+		t.Fatal("latency should be preserved")
+	}
+}
+
+// TestMeasuredShapeMatchesPaper is the repository's headline integration
+// test: on a real (depth-scaled) BERT-Large over six emulated devices with
+// calibrated bandwidth, the measured latencies must reproduce the paper's
+// Fig. 4 ordering — Voltage beats single device, tensor parallelism does
+// not.
+func TestMeasuredShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second integration experiment")
+	}
+	// K=4 and N=128 keep the suite fast on small hosts; the full K=6,
+	// N=200 run is `voltage-bench -experiment fig4 -mode measured`.
+	const k, n = 4, 128
+	cal := Calibrate(k)
+	profile := cal.Apply(netem.Profile{BandwidthMbps: 500, Latency: 200 * time.Microsecond})
+
+	cfg := model.BERTLarge().Scaled(2)
+	var singleLat, voltageLat, tpLat time.Duration
+	var fail string
+	singleThreaded(func() {
+		c, err := cluster.NewMem(cfg, k, cluster.Options{Profile: profile, DeviceFlops: cal.DeviceFlops})
+		if err != nil {
+			fail = err.Error()
+			return
+		}
+		defer c.Close()
+		x, err := embedWorkload(c, n)
+		if err != nil {
+			fail = err.Error()
+			return
+		}
+		ctx := context.Background()
+		for _, st := range []cluster.Strategy{cluster.StrategySingle, cluster.StrategyVoltage, cluster.StrategyTensorParallel} {
+			res, err := c.Infer(ctx, st, x)
+			if err != nil {
+				fail = err.Error()
+				return
+			}
+			switch st {
+			case cluster.StrategySingle:
+				singleLat = res.Latency
+			case cluster.StrategyVoltage:
+				voltageLat = res.Latency
+			case cluster.StrategyTensorParallel:
+				tpLat = res.Latency
+			}
+		}
+	})
+	if fail != "" {
+		t.Fatal(fail)
+	}
+	t.Logf("measured @K=%d calibrated 500Mbps: single=%v voltage=%v tp=%v", k, singleLat, voltageLat, tpLat)
+	if voltageLat >= singleLat {
+		t.Errorf("voltage (%v) did not beat single device (%v)", voltageLat, singleLat)
+	}
+	if tpLat <= voltageLat {
+		t.Errorf("tensor parallelism (%v) unexpectedly beat voltage (%v)", tpLat, voltageLat)
+	}
+}

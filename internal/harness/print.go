@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured markdown.
+func (t Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (simple fields; no quoting needed for
+// the harness's numeric output).
+func (t Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// Fig4Table formats Fig. 4 rows.
+func Fig4Table(title string, rows []Fig4Row) Table {
+	t := Table{Title: title, Header: []string{"model", "K", "single(s)", "voltage(s)", "tensor-parallel(s)"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Model, strconv.Itoa(r.K), f3(r.SingleSec), f3(r.VoltageSec), f3(r.TPSec),
+		})
+	}
+	return t
+}
+
+// Fig5Table formats Fig. 5 rows.
+func Fig5Table(title string, rows []Fig5Row) Table {
+	t := Table{Title: title, Header: []string{"model", "bandwidth(Mbps)", "single(s)", "voltage(s)", "tensor-parallel(s)"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Model, strconv.FormatFloat(r.BandwidthMbps, 'f', 0, 64),
+			f3(r.SingleSec), f3(r.VoltageSec), f3(r.TPSec),
+		})
+	}
+	return t
+}
+
+// Fig6Table formats Fig. 6 rows.
+func Fig6Table(title string, rows []Fig6Row) Table {
+	t := Table{Title: title, Header: []string{"H", "FH", "N", "K", "voltage-speedup", "naive-speedup", "order"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(r.H), strconv.Itoa(r.FH), strconv.Itoa(r.N), strconv.Itoa(r.K),
+			f2(r.VoltageSpeedup), f2(r.NaiveSpeedup), r.OrderUsed.String(),
+		})
+	}
+	return t
+}
+
+// CommTable formats Table A rows.
+func CommTable(title string, rows []CommRow) Table {
+	t := Table{Title: title, Header: []string{
+		"K", "voltage-bytes", "tp-bytes", "ratio",
+		"voltage-formula(B/layer/dev)", "tp-formula(B/layer/dev)",
+	}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(r.K),
+			strconv.FormatInt(r.VoltageBytes, 10),
+			strconv.FormatInt(r.TPBytes, 10),
+			f2(r.Ratio),
+			strconv.FormatFloat(r.VoltageFormula, 'f', 0, 64),
+			strconv.FormatFloat(r.TPFormula, 'f', 0, 64),
+		})
+	}
+	return t
+}
+
+// TheoremTable formats Table B.
+func TheoremTable(title string, rep TheoremReport) Table {
+	return Table{
+		Title:  title,
+		Header: []string{"shapes-checked", "predicate-errors", "reordered-wins"},
+		Rows: [][]string{{
+			strconv.Itoa(rep.ShapesChecked),
+			strconv.Itoa(rep.PredicateErrors),
+			strconv.Itoa(rep.ReorderedWins),
+		}},
+	}
+}

@@ -1,0 +1,73 @@
+package linattn
+
+import (
+	"fmt"
+	"testing"
+
+	"voltage/internal/attention"
+	"voltage/internal/flopcount"
+	"voltage/internal/tensor"
+)
+
+// BenchmarkLinearVsSoftmaxScaling shows the O(N) vs O(N²) gap: the linear
+// head's full-output time grows linearly with N while softmax attention
+// grows quadratically.
+func BenchmarkLinearVsSoftmaxScaling(b *testing.B) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	const f, fh = 256, 64
+	rng := tensor.NewRNG(1)
+	base, err := attention.NewHeadWeights(rng.XavierNormal(f, fh), rng.XavierNormal(f, fh), rng.XavierNormal(f, fh))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lin := &LinearHead{Base: base}
+	for _, n := range []int{128, 512} {
+		x := tensor.NewRNG(2).Normal(n, f, 1)
+		b.Run(fmt.Sprintf("linear/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lin.Compute(x, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("softmax/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := attention.Compute(base, x, x, flopcount.OrderNaive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLinformerPartition measures the compressed-attention partition
+// at growing rank.
+func BenchmarkLinformerPartition(b *testing.B) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	const f, fh, n, p = 256, 64, 256, 32
+	rng := tensor.NewRNG(3)
+	base, err := attention.NewHeadWeights(rng.XavierNormal(f, fh), rng.XavierNormal(f, fh), rng.XavierNormal(f, fh))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.NewRNG(4).Normal(n, f, 1)
+	xp, err := x.RowSlice(0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rank := range []int{16, 64} {
+		l, err := NewLinformerHead(base, rank, n, tensor.NewRNG(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rank=%d", rank), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Compute(x, xp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package linattn
+
+import (
+	"fmt"
+
+	"voltage/internal/attention"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+// Layer is a complete transformer layer whose attention is the kernelized
+// linear variant: multi-head linear attention with output projection,
+// followed by the standard position-wise FFN with residuals and layer
+// norms. It mirrors model.Layer's partitioned interface, demonstrating
+// that a whole linear-attention transformer distributes under Voltage
+// exactly like a softmax one — with an even better profile, because the
+// per-layer global state is only H·FH² values.
+type Layer struct {
+	Heads []*LinearHead
+	WO    *tensor.Matrix
+	BO    []float32
+
+	W1 *tensor.Matrix
+	B1 []float32
+	W2 *tensor.Matrix
+	B2 []float32
+
+	LN1Gain, LN1Bias []float32
+	LN2Gain, LN2Bias []float32
+
+	Act tensor.Activation
+	Eps float32
+}
+
+// NewRandomLayer builds a deterministic linear-attention layer with H
+// heads, model width f (= H·fh) and FFN width dff.
+func NewRandomLayer(rng *tensor.RNG, h, f, fh, dff int, act tensor.Activation) (*Layer, error) {
+	if h < 1 || f != h*fh || dff < 1 {
+		return nil, fmt.Errorf("linattn: invalid layer H=%d F=%d FH=%d Dff=%d", h, f, fh, dff)
+	}
+	heads := make([]*LinearHead, h)
+	for i := range heads {
+		base, err := attention.NewHeadWeights(
+			rng.XavierNormal(f, fh), rng.XavierNormal(f, fh), rng.XavierNormal(f, fh))
+		if err != nil {
+			return nil, err
+		}
+		heads[i] = &LinearHead{Base: base}
+	}
+	return &Layer{
+		Heads:   heads,
+		WO:      rng.XavierNormal(h*fh, f),
+		BO:      tensor.Zeros(f),
+		W1:      rng.XavierNormal(f, dff),
+		B1:      tensor.Zeros(dff),
+		W2:      rng.XavierNormal(dff, f),
+		B2:      tensor.Zeros(f),
+		LN1Gain: tensor.Ones(f), LN1Bias: tensor.Zeros(f),
+		LN2Gain: tensor.Ones(f), LN2Bias: tensor.Zeros(f),
+		Act: act,
+		Eps: 1e-5,
+	}, nil
+}
+
+// F returns the layer's feature dimensionality.
+func (l *Layer) F() int { return l.Heads[0].Base.F() }
+
+// Forward computes the full layer output (single-device path).
+func (l *Layer) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return l.ForwardPartition(x, partition.Range{From: 0, To: x.Rows()})
+}
+
+// ForwardPartition computes the layer output partition for the position
+// range r — Algorithm 1 with the customized attention procedure swapped
+// in, as the paper's related-work section describes.
+func (l *Layer) ForwardPartition(x *tensor.Matrix, r partition.Range) (*tensor.Matrix, error) {
+	if r.From < 0 || r.To > x.Rows() || r.From > r.To {
+		return nil, fmt.Errorf("%w: partition %v of %d rows", tensor.ErrShape, r, x.Rows())
+	}
+	if r.Empty() {
+		return tensor.New(0, x.Cols()), nil
+	}
+	xp, err := x.RowSlice(r.From, r.To)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Matrix, len(l.Heads))
+	for i, h := range l.Heads {
+		o, err := h.Compute(x, xp)
+		if err != nil {
+			return nil, fmt.Errorf("linattn: head %d: %w", i, err)
+		}
+		outs[i] = o
+	}
+	cat, err := tensor.ConcatCols(outs...)
+	if err != nil {
+		return nil, err
+	}
+	attnOut, err := tensor.MatMul(cat, l.WO)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasInPlace(attnOut, l.BO); err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(attnOut, xp); err != nil {
+		return nil, err
+	}
+	y, err := tensor.LayerNorm(attnOut, l.LN1Gain, l.LN1Bias, l.Eps)
+	if err != nil {
+		return nil, err
+	}
+	h1, err := tensor.MatMul(y, l.W1)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasInPlace(h1, l.B1); err != nil {
+		return nil, err
+	}
+	l.Act.ApplyInPlace(h1)
+	f, err := tensor.MatMul(h1, l.W2)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasInPlace(f, l.B2); err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(f, y); err != nil {
+		return nil, err
+	}
+	return tensor.LayerNorm(f, l.LN2Gain, l.LN2Bias, l.Eps)
+}

@@ -1,0 +1,109 @@
+package linattn
+
+import (
+	"testing"
+
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+func newLayer(t testing.TB, seed int64) *Layer {
+	t.Helper()
+	l, err := NewRandomLayer(tensor.NewRNG(seed), 4, 32, 8, 64, tensor.GELU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewRandomLayerValidation(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if _, err := NewRandomLayer(rng, 0, 32, 8, 64, tensor.GELU); err == nil {
+		t.Fatal("want error for H=0")
+	}
+	if _, err := NewRandomLayer(rng, 4, 30, 8, 64, tensor.GELU); err == nil {
+		t.Fatal("want error for F != H·FH")
+	}
+	if _, err := NewRandomLayer(rng, 4, 32, 8, 0, tensor.GELU); err == nil {
+		t.Fatal("want error for Dff=0")
+	}
+	l := newLayer(t, 2)
+	if l.F() != 32 {
+		t.Fatalf("F = %d", l.F())
+	}
+}
+
+func TestLayerPartitionEqualsFullSlice(t *testing.T) {
+	// The full extension claim at the layer level: a linear-attention
+	// transformer layer partitions position-wise exactly.
+	l := newLayer(t, 3)
+	x := tensor.NewRNG(4).Normal(18, 32, 1)
+	full, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []partition.Range{{From: 0, To: 6}, {From: 6, To: 11}, {From: 11, To: 18}} {
+		part, err := l.ForwardPartition(x, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(r.From, r.To)
+		if !part.AlmostEqual(want, 1e-3) {
+			d, _ := part.MaxAbsDiff(want)
+			t.Fatalf("linear layer partition %v differs by %v", r, d)
+		}
+	}
+}
+
+func TestLayerMultiLayerStackDistributes(t *testing.T) {
+	// Stack three linear-attention layers with Algorithm 2 semantics
+	// (partition → assemble → next layer) and compare with single-device.
+	layers := []*Layer{newLayer(t, 5), newLayer(t, 6), newLayer(t, 7)}
+	x := tensor.NewRNG(8).Normal(15, 32, 1)
+	want := x
+	var err error
+	for _, l := range layers {
+		want, err = l.Forward(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	scheme, _ := partition.Even(3)
+	cur := x
+	for _, l := range layers {
+		ranges, err := scheme.Ranges(cur.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := tensor.New(cur.Rows(), 32)
+		for _, r := range ranges {
+			part, err := l.ForwardPartition(cur, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := next.SetRowSlice(r.From, part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur = next
+	}
+	if !cur.AlmostEqual(want, 1e-2) {
+		d, _ := cur.MaxAbsDiff(want)
+		t.Fatalf("distributed linear stack differs by %v", d)
+	}
+}
+
+func TestLayerPartitionValidation(t *testing.T) {
+	l := newLayer(t, 9)
+	x := tensor.NewRNG(10).Normal(8, 32, 1)
+	if _, err := l.ForwardPartition(x, partition.Range{From: -1, To: 2}); err == nil {
+		t.Fatal("want error for negative range")
+	}
+	if _, err := l.ForwardPartition(x, partition.Range{From: 0, To: 99}); err == nil {
+		t.Fatal("want error for overflow range")
+	}
+	out, err := l.ForwardPartition(x, partition.Range{From: 3, To: 3})
+	if err != nil || out.Rows() != 0 {
+		t.Fatalf("empty range: %v rows %d", err, out.Rows())
+	}
+}

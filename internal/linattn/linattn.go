@@ -1,0 +1,202 @@
+// Package linattn implements two efficient-attention variants from the
+// paper's related-work discussion — Linformer-style low-rank attention and
+// kernelized linear attention (Katharopoulos et al.) — together with their
+// position-wise partitioned computation.
+//
+// The paper claims "Voltage can be easily extended to distribute them with
+// minor changes to the customized attention procedures"; this package is
+// that extension. Both variants keep the transformer's position-wise
+// structure, and their global component (the projected K/V or the
+// kernelized summary matrix) is a small O(r·FH) or O(FH²) object that each
+// device recomputes locally, so the per-device cost of an output partition
+// is O(P) — there is no equivalent of the softmax-attention K/V bottleneck
+// at all, and even the naive partition scales linearly.
+package linattn
+
+import (
+	"fmt"
+	"math"
+
+	"voltage/internal/attention"
+	"voltage/internal/tensor"
+)
+
+// LinformerHead is one attention head with Linformer's sequence-dimension
+// projections: K and V are compressed from N positions to R rows by
+// learned projections E, F ∈ R^{R×MaxN} before the softmax.
+type LinformerHead struct {
+	Base *attention.HeadWeights
+	// E and Fproj are the R×MaxN K- and V-compression projections; only
+	// the first N columns are used for a length-N input.
+	E, Fproj *tensor.Matrix
+}
+
+// NewLinformerHead wraps a head with rank-r projections for inputs up to
+// maxN positions, deterministically initialized.
+func NewLinformerHead(base *attention.HeadWeights, r, maxN int, rng *tensor.RNG) (*LinformerHead, error) {
+	if r < 1 || maxN < 1 {
+		return nil, fmt.Errorf("linattn: rank %d maxN %d", r, maxN)
+	}
+	return &LinformerHead{
+		Base:  base,
+		E:     rng.Normal(r, maxN, 1/math.Sqrt(float64(maxN))),
+		Fproj: rng.Normal(r, maxN, 1/math.Sqrt(float64(maxN))),
+	}, nil
+}
+
+// Rank returns the compression rank R.
+func (l *LinformerHead) Rank() int { return l.E.Rows() }
+
+// project compresses an N×FH matrix to R×FH with the first N columns of
+// proj.
+func project(proj, m *tensor.Matrix) (*tensor.Matrix, error) {
+	sub, err := proj.ColSlice(0, m.Rows())
+	if err != nil {
+		return nil, err
+	}
+	return tensor.MatMul(sub, m)
+}
+
+// Compute returns the head's output partition for the rows of xp within
+// the full input x:
+//
+//	Ap = softmax(Qp·(E·K)ᵀ/√FH) · (F·V)
+//
+// The compressed K', V' are R×FH regardless of N, so the partition cost is
+// O(P·(F·FH + R·FH) + N·F·FH/R-ish) with the N-dependent work shrinking by
+// the compression factor.
+func (l *LinformerHead) Compute(x, xp *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Rows() > l.E.Cols() {
+		return nil, fmt.Errorf("linattn: input length %d exceeds projection max %d", x.Rows(), l.E.Cols())
+	}
+	if x.Cols() != l.Base.F() || xp.Cols() != l.Base.F() {
+		return nil, fmt.Errorf("%w: input cols %d/%d vs F %d",
+			tensor.ErrShape, x.Cols(), xp.Cols(), l.Base.F())
+	}
+	k, err := tensor.MatMul(x, l.Base.WK)
+	if err != nil {
+		return nil, err
+	}
+	v, err := tensor.MatMul(x, l.Base.WV)
+	if err != nil {
+		return nil, err
+	}
+	kc, err := project(l.E, k) // R×FH
+	if err != nil {
+		return nil, err
+	}
+	vc, err := project(l.Fproj, v) // R×FH
+	if err != nil {
+		return nil, err
+	}
+	q, err := tensor.MatMul(xp, l.Base.WQ)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := tensor.MatMulT(q, kc) // P×R
+	if err != nil {
+		return nil, err
+	}
+	tensor.ScaleInPlace(scores, float32(1/math.Sqrt(float64(l.Base.FH()))))
+	tensor.SoftmaxRowsInPlace(scores)
+	return tensor.MatMul(scores, vc)
+}
+
+// LinearHead is one attention head under the kernelized linear attention of
+// Katharopoulos et al.: softmax is replaced by the feature map
+// φ(u) = elu(u)+1, allowing the associativity rewrite
+//
+//	A = φ(Q)·(φ(K)ᵀ·V) / (φ(Q)·(φ(K)ᵀ·1))
+//
+// whose global component φ(K)ᵀ·V is a tiny FH×FH summary.
+type LinearHead struct {
+	Base *attention.HeadWeights
+}
+
+// phi applies the elu(u)+1 feature map in place (strictly positive, which
+// keeps the normalizer nonzero).
+func phi(m *tensor.Matrix) {
+	data := m.Data()
+	for i, v := range data {
+		if v < 0 {
+			data[i] = float32(math.Exp(float64(v))) // elu(v)+1 = e^v for v<0
+		} else {
+			data[i] = v + 1
+		}
+	}
+}
+
+// summary computes the global FH×FH matrix S = φ(K)ᵀ·V and the FH
+// normalizer z = φ(K)ᵀ·1 from the full input.
+func (l *LinearHead) summary(x *tensor.Matrix) (*tensor.Matrix, []float32, error) {
+	k, err := tensor.MatMul(x, l.Base.WK)
+	if err != nil {
+		return nil, nil, err
+	}
+	phi(k)
+	v, err := tensor.MatMul(x, l.Base.WV)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := tensor.MatMul(k.T(), v) // FH×FH
+	if err != nil {
+		return nil, nil, err
+	}
+	z := make([]float32, k.Cols())
+	for i := 0; i < k.Rows(); i++ {
+		row := k.Row(i)
+		for j, kv := range row {
+			z[j] += kv
+		}
+	}
+	return s, z, nil
+}
+
+// Compute returns the head's output partition: each row i is
+// φ(q_i)·S / (φ(q_i)·z). The only input-length-dependent work is the
+// one-time summary (O(N·F·FH)); the per-position work is O(F·FH), so the
+// partition is exactly position-wise.
+func (l *LinearHead) Compute(x, xp *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Cols() != l.Base.F() || xp.Cols() != l.Base.F() {
+		return nil, fmt.Errorf("%w: input cols %d/%d vs F %d",
+			tensor.ErrShape, x.Cols(), xp.Cols(), l.Base.F())
+	}
+	s, z, err := l.summary(x)
+	if err != nil {
+		return nil, err
+	}
+	q, err := tensor.MatMul(xp, l.Base.WQ)
+	if err != nil {
+		return nil, err
+	}
+	phi(q)
+	num, err := tensor.MatMul(q, s) // P×FH
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < q.Rows(); i++ {
+		qi := q.Row(i)
+		var denom float32
+		for j, qv := range qi {
+			denom += qv * z[j]
+		}
+		if denom == 0 {
+			return nil, fmt.Errorf("linattn: zero normalizer at row %d", i)
+		}
+		out := num.Row(i)
+		inv := 1 / denom
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return num, nil
+}
+
+// PartitionCost returns the analytic Γ of a linear-attention partition:
+// the one-time summary N·F·FH + N·FH·FH plus P·(F·FH + FH·FH).
+func (l *LinearHead) PartitionCost(n, p int) int64 {
+	f, fh := int64(l.Base.F()), int64(l.Base.FH())
+	summary := int64(n)*f*fh + int64(n)*fh*fh
+	per := int64(p) * (f*fh + fh*fh)
+	return summary + per
+}

@@ -1,0 +1,207 @@
+package linattn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"voltage/internal/attention"
+	"voltage/internal/tensor"
+)
+
+func newBase(t testing.TB, seed int64, f, fh int) *attention.HeadWeights {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	h, err := attention.NewHeadWeights(rng.XavierNormal(f, fh), rng.XavierNormal(f, fh), rng.XavierNormal(f, fh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewLinformerHeadValidation(t *testing.T) {
+	base := newBase(t, 1, 16, 4)
+	rng := tensor.NewRNG(2)
+	if _, err := NewLinformerHead(base, 0, 32, rng); err == nil {
+		t.Fatal("want error for rank 0")
+	}
+	if _, err := NewLinformerHead(base, 4, 0, rng); err == nil {
+		t.Fatal("want error for maxN 0")
+	}
+	l, err := NewLinformerHead(base, 4, 32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rank() != 4 {
+		t.Fatalf("Rank = %d", l.Rank())
+	}
+}
+
+func TestLinformerPartitionEqualsFullSlice(t *testing.T) {
+	// The extension claim: position-wise partitioning stays exact for the
+	// customized attention — each partition equals the rows of the full
+	// output.
+	base := newBase(t, 3, 24, 8)
+	l, err := NewLinformerHead(base, 6, 64, tensor.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(5).Normal(20, 24, 1)
+	full, err := l.Compute(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rows() != 20 || full.Cols() != 8 {
+		t.Fatalf("full shape %dx%d", full.Rows(), full.Cols())
+	}
+	for _, r := range [][2]int{{0, 7}, {7, 13}, {13, 20}} {
+		xp, _ := x.RowSlice(r[0], r[1])
+		part, err := l.Compute(x, xp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(r[0], r[1])
+		if !part.AlmostEqual(want, 1e-4) {
+			t.Fatalf("linformer partition [%d,%d) differs", r[0], r[1])
+		}
+	}
+}
+
+func TestLinformerValidation(t *testing.T) {
+	base := newBase(t, 6, 16, 4)
+	l, err := NewLinformerHead(base, 4, 8, tensor.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tooLong := tensor.New(9, 16)
+	if _, err := l.Compute(tooLong, tooLong); err == nil {
+		t.Fatal("want error for input beyond maxN")
+	}
+	wrong := tensor.New(4, 5)
+	if _, err := l.Compute(wrong, wrong); err == nil {
+		t.Fatal("want error for wrong feature size")
+	}
+}
+
+func TestLinearPartitionEqualsFullSlice(t *testing.T) {
+	base := newBase(t, 8, 24, 6)
+	l := &LinearHead{Base: base}
+	x := tensor.NewRNG(9).Normal(18, 24, 1)
+	full, err := l.Compute(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 5}, {5, 18}} {
+		xp, _ := x.RowSlice(r[0], r[1])
+		part, err := l.Compute(x, xp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(r[0], r[1])
+		if !part.AlmostEqual(want, 1e-4) {
+			t.Fatalf("linear attention partition [%d,%d) differs", r[0], r[1])
+		}
+	}
+}
+
+func TestLinearAttentionRowsAreConvexCombos(t *testing.T) {
+	// With φ > 0, each output row is a convex combination of value rows:
+	// it must lie within the min/max envelope of V's columns.
+	base := newBase(t, 10, 16, 4)
+	l := &LinearHead{Base: base}
+	x := tensor.NewRNG(11).Normal(12, 16, 1)
+	out, err := l.Compute(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tensor.MatMul(x, base.WV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < v.Cols(); j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < v.Rows(); i++ {
+			val := float64(v.At(i, j))
+			lo = math.Min(lo, val)
+			hi = math.Max(hi, val)
+		}
+		for i := 0; i < out.Rows(); i++ {
+			got := float64(out.At(i, j))
+			if got < lo-1e-4 || got > hi+1e-4 {
+				t.Fatalf("output[%d][%d] = %v outside value envelope [%v, %v]", i, j, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPhiPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		m := rng.Normal(4, 4, 3)
+		phi(m)
+		for _, v := range m.Data() {
+			if v <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearValidation(t *testing.T) {
+	base := newBase(t, 12, 16, 4)
+	l := &LinearHead{Base: base}
+	wrong := tensor.New(3, 5)
+	if _, err := l.Compute(wrong, wrong); err == nil {
+		t.Fatal("want error for wrong feature size")
+	}
+}
+
+func TestLinearPartitionCostIsLinearInP(t *testing.T) {
+	base := newBase(t, 13, 64, 16)
+	l := &LinearHead{Base: base}
+	n := 1000
+	c1 := l.PartitionCost(n, 10)
+	c2 := l.PartitionCost(n, 20)
+	perPos := c2 - c1 // 10 positions' worth
+	if perPos <= 0 {
+		t.Fatal("cost not increasing in P")
+	}
+	// The summary term is shared: cost(P) = base + P·per.
+	want := l.PartitionCost(n, 0) + 20*(perPos/10)
+	if c2 != want {
+		t.Fatalf("cost not affine in P: %d vs %d", c2, want)
+	}
+	// And no quadratic N² term: doubling N at fixed P scales the summary
+	// linearly.
+	d1 := l.PartitionCost(1000, 10)
+	d2 := l.PartitionCost(2000, 10)
+	summary1 := d1 - 10*(perPos/10)
+	summary2 := d2 - 10*(perPos/10)
+	if summary2 != 2*summary1 {
+		t.Fatalf("summary not linear in N: %d vs %d", summary1, summary2)
+	}
+}
+
+func TestLinformerCompressionShrinksScores(t *testing.T) {
+	// Sanity: with rank R ≪ N, the score matrix is P×R not P×N — verify
+	// via cost proxy by ensuring compute succeeds at small rank and large
+	// N without shape errors.
+	base := newBase(t, 14, 16, 4)
+	l, err := NewLinformerHead(base, 2, 256, tensor.NewRNG(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(16).Normal(200, 16, 1)
+	xp, _ := x.RowSlice(0, 5)
+	out, err := l.Compute(x, xp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 5 || out.Cols() != 4 {
+		t.Fatalf("shape %dx%d", out.Rows(), out.Cols())
+	}
+}

@@ -1,0 +1,114 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"voltage/internal/tensor"
+)
+
+func TestPresetShapesMatchPaper(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		layers int
+		f      int
+		heads  int
+		fh     int
+	}{
+		{BERTLarge(), 24, 1024, 16, 64},
+		{GPT2(), 12, 768, 12, 64},
+		{ViTBase(), 12, 768, 12, 64},
+	}
+	for _, c := range cases {
+		t.Run(c.cfg.Name, func(t *testing.T) {
+			if err := c.cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if c.cfg.Layers != c.layers || c.cfg.F != c.f || c.cfg.Heads != c.heads || c.cfg.FH() != c.fh {
+				t.Fatalf("preset %s = %d layers F=%d H=%d FH=%d", c.cfg.Name,
+					c.cfg.Layers, c.cfg.F, c.cfg.Heads, c.cfg.FH())
+			}
+		})
+	}
+}
+
+func TestViTSeqLenIs197(t *testing.T) {
+	// 224/16 = 14 → 14² + [CLS] = 197, the paper's ViT sequence length.
+	if got := ViTBase().SeqLen(0); got != 197 {
+		t.Fatalf("ViT SeqLen = %d, want 197", got)
+	}
+	if got := BERTLarge().SeqLen(200); got != 200 {
+		t.Fatalf("BERT SeqLen = %d, want 200", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no layers", func(c *Config) { c.Layers = 0 }},
+		{"indivisible heads", func(c *Config) { c.F = 33 }},
+		{"no ffn", func(c *Config) { c.FFN = 0 }},
+		{"no vocab", func(c *Config) { c.VocabSize = 0 }},
+		{"no maxseq", func(c *Config) { c.MaxSeq = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Tiny()
+			c.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", c.name)
+			}
+		})
+	}
+	bad := TinyVision()
+	bad.PatchSize = 5 // 16 % 5 != 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted indivisible patch size")
+	}
+}
+
+func TestPresetsLookup(t *testing.T) {
+	for _, name := range []string{"bert", "bert-large", "gpt2", "vit", "tiny", "tiny-decoder", "tiny-vision"} {
+		if _, err := Presets(name); err != nil {
+			t.Errorf("Presets(%q): %v", name, err)
+		}
+	}
+	if _, err := Presets("nope"); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Fatalf("Presets(nope) = %v", err)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := BERTLarge().Scaled(2)
+	if c.Layers != 2 || c.F != 1024 {
+		t.Fatalf("Scaled = %+v", c)
+	}
+}
+
+func TestEpsDefault(t *testing.T) {
+	c := Config{}
+	if c.Eps() != 1e-5 {
+		t.Fatalf("Eps default = %v", c.Eps())
+	}
+	c.LayerNormEps = 1e-6
+	if c.Eps() != 1e-6 {
+		t.Fatalf("Eps override = %v", c.Eps())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindEncoder.String() != "encoder" || KindDecoder.String() != "decoder" || KindVision.String() != "vision" {
+		t.Fatal("Kind String broken")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown Kind String")
+	}
+}
+
+func TestActivationsPreset(t *testing.T) {
+	if BERTLarge().Act != tensor.GELU || GPT2().Act != tensor.GELU {
+		t.Fatal("presets should use GELU")
+	}
+}

@@ -1,0 +1,156 @@
+package model
+
+import (
+	"testing"
+
+	"voltage/internal/tensor"
+)
+
+func TestEmbedTokensShape(t *testing.T) {
+	e, err := NewRandomEmbedding(Tiny(), tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.EmbedTokens([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows() != 3 || x.Cols() != 32 {
+		t.Fatalf("shape %dx%d", x.Rows(), x.Cols())
+	}
+}
+
+func TestEmbedTokensPositionDependence(t *testing.T) {
+	e, err := NewRandomEmbedding(Tiny(), tensor.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.EmbedTokens([]int{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same token at different positions must differ (position embedding).
+	r0, _ := x.RowSlice(0, 1)
+	r1, _ := x.RowSlice(1, 2)
+	if r0.AlmostEqual(r1, 1e-6) {
+		t.Fatal("position embedding missing")
+	}
+}
+
+func TestEmbedTokensErrors(t *testing.T) {
+	e, err := NewRandomEmbedding(Tiny(), tensor.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EmbedTokens(nil); err == nil {
+		t.Fatal("want error on empty sequence")
+	}
+	if _, err := e.EmbedTokens([]int{-1}); err == nil {
+		t.Fatal("want error on negative id")
+	}
+	if _, err := e.EmbedTokens([]int{1000}); err == nil {
+		t.Fatal("want error on OOV id")
+	}
+	long := make([]int, 100) // Tiny MaxSeq = 64
+	if _, err := e.EmbedTokens(long); err == nil {
+		t.Fatal("want error on over-long sequence")
+	}
+	ev, err := NewRandomEmbedding(TinyVision(), tensor.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.EmbedTokens([]int{1}); err == nil {
+		t.Fatal("want error on token input to vision model")
+	}
+}
+
+func TestEmbedImageShape(t *testing.T) {
+	cfg := TinyVision()
+	e, err := NewRandomEmbedding(cfg, tensor.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := RandomImage(tensor.NewRNG(6), 3, 16)
+	x, err := e.EmbedImage(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16/4 = 4 → 16 patches + class token = 17 positions.
+	if x.Rows() != 17 || x.Cols() != cfg.F {
+		t.Fatalf("shape %dx%d, want 17x%d", x.Rows(), x.Cols(), cfg.F)
+	}
+}
+
+func TestEmbedImageErrors(t *testing.T) {
+	e, err := NewRandomEmbedding(TinyVision(), tensor.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewImage(3, 8, 8)
+	if _, err := e.EmbedImage(wrong); err == nil {
+		t.Fatal("want error on wrong image size")
+	}
+	et, err := NewRandomEmbedding(Tiny(), tensor.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := et.EmbedImage(RandomImage(tensor.NewRNG(9), 3, 16)); err == nil {
+		t.Fatal("want error on image input to token model")
+	}
+}
+
+func TestImageAccessors(t *testing.T) {
+	im := NewImage(2, 3, 4)
+	im.Set(1, 2, 3, 0.5)
+	if im.At(1, 2, 3) != 0.5 {
+		t.Fatal("Image At/Set broken")
+	}
+	if im.At(0, 0, 0) != 0 {
+		t.Fatal("Image not zeroed")
+	}
+}
+
+func TestPatchExtractionIsLossless(t *testing.T) {
+	// Two images differing in exactly one pixel must produce different
+	// patch rows in exactly one patch position.
+	cfg := TinyVision()
+	e, err := NewRandomEmbedding(cfg, tensor.NewRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im1 := RandomImage(tensor.NewRNG(11), 3, 16)
+	im2 := NewImage(3, 16, 16)
+	copy(im2.Pixels, im1.Pixels)
+	im2.Set(0, 5, 9, im1.At(0, 5, 9)+1) // patch (1,2) → sequence row 1 + 1*4+2
+	x1, err := e.EmbedImage(im1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := e.EmbedImage(im2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := 0; i < x1.Rows(); i++ {
+		r1, _ := x1.RowSlice(i, i+1)
+		r2, _ := x2.RowSlice(i, i+1)
+		if !r1.Equal(r2) {
+			changed++
+			if i != 1+1*4+2 {
+				t.Fatalf("unexpected changed row %d", i)
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("%d rows changed, want 1", changed)
+	}
+}
+
+func TestRandomImagePixelRange(t *testing.T) {
+	im := RandomImage(tensor.NewRNG(12), 3, 16)
+	for _, p := range im.Pixels {
+		if p < 0 || p >= 1 {
+			t.Fatalf("pixel %v outside [0,1)", p)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"testing"
+
+	"voltage/internal/tensor"
+)
+
+func TestClassifierLogitsShape(t *testing.T) {
+	cfg := Tiny()
+	c, err := NewRandomClassifier(cfg, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := tensor.NewRNG(2).Normal(5, cfg.F, 1)
+	logits, err := c.Logits(hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logits) != cfg.NumClasses {
+		t.Fatalf("logits length %d", len(logits))
+	}
+}
+
+func TestClassifierPoolingPosition(t *testing.T) {
+	// Encoder pools the first row; decoder pools the last. Construct
+	// hidden states where they differ.
+	enc, err := NewRandomClassifier(Tiny(), tensor.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewRandomClassifier(TinyDecoder(), tensor.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := tensor.NewRNG(4).Normal(6, 32, 1)
+	le, err := enc.Logits(hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := dec.Logits(hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range le {
+		if le[i] != ld[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("encoder and decoder pooled the same position")
+	}
+	// First-row-only dependence for the encoder.
+	h2 := hidden.Clone()
+	for j := 0; j < 32; j++ {
+		h2.Set(5, j, 0)
+	}
+	le2, err := enc.Logits(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range le {
+		if le[i] != le2[i] {
+			t.Fatal("encoder logits depend on non-first rows")
+		}
+	}
+}
+
+func TestClassifierErrors(t *testing.T) {
+	bad := Tiny()
+	bad.NumClasses = 0
+	if _, err := NewRandomClassifier(bad, tensor.NewRNG(5)); err == nil {
+		t.Fatal("want error for zero classes")
+	}
+	c, err := NewRandomClassifier(Tiny(), tensor.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Logits(tensor.New(0, 32)); err == nil {
+		t.Fatal("want error for empty hidden")
+	}
+	if _, err := c.Logits(tensor.New(3, 7)); err == nil {
+		t.Fatal("want error for wrong width")
+	}
+	if _, err := c.Predict(tensor.New(3, 7)); err == nil {
+		t.Fatal("want error from Predict on bad shape")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	cases := []struct {
+		in   []float32
+		want int
+	}{
+		{nil, -1},
+		{[]float32{1}, 0},
+		{[]float32{1, 3, 2}, 1},
+		{[]float32{2, 2}, 0}, // first on ties
+		{[]float32{-5, -1, -9}, 1},
+	}
+	for _, c := range cases {
+		if got := Argmax(c.in); got != c.want {
+			t.Errorf("Argmax(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLMHead(t *testing.T) {
+	cfg := TinyDecoder()
+	h, err := NewRandomLMHead(cfg, tensor.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := tensor.NewRNG(8).Normal(4, cfg.F, 1)
+	logits, err := h.NextTokenLogits(hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logits) != cfg.VocabSize {
+		t.Fatalf("logits length %d", len(logits))
+	}
+	// Depends only on the last row.
+	h2 := hidden.Clone()
+	for j := 0; j < cfg.F; j++ {
+		h2.Set(0, j, 0)
+	}
+	logits2, err := h.NextTokenLogits(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range logits {
+		if logits[i] != logits2[i] {
+			t.Fatal("LM head depends on non-final rows")
+		}
+	}
+	if _, err := h.NextTokenLogits(tensor.New(0, cfg.F)); err == nil {
+		t.Fatal("want error on empty hidden")
+	}
+	if _, err := NewRandomLMHead(TinyVision(), tensor.NewRNG(9)); err == nil {
+		t.Fatal("want error for vision LM head")
+	}
+}

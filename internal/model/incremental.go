@@ -1,0 +1,177 @@
+package model
+
+import (
+	"fmt"
+
+	"voltage/internal/attention"
+	"voltage/internal/tensor"
+)
+
+// This file implements KV-cached incremental decoding over the full
+// transformer stack: prefill once over the prompt (optionally distributed
+// with Algorithm 2), then decode each token with O(N) attention per layer
+// instead of re-running the whole stack.
+
+// LayerState is the decoding cache of one transformer layer.
+type LayerState struct {
+	Attn *attention.MultiHeadState
+}
+
+// DecodeState is the decoding cache of a whole model plus the running
+// position counter.
+type DecodeState struct {
+	Layers []*LayerState
+	// Pos is the number of positions processed so far (cache length).
+	Pos int
+}
+
+// PrefillState builds a layer's cache from its full prefill input x.
+func (l *Layer) PrefillState(x *tensor.Matrix) (*LayerState, error) {
+	s, err := l.Attn.Prefill(x)
+	if err != nil {
+		return nil, err
+	}
+	return &LayerState{Attn: s}, nil
+}
+
+// ForwardIncremental computes the layer output for one new position (1×F)
+// given the cache, appending the position to the cache.
+func (l *Layer) ForwardIncremental(s *LayerState, xNew *tensor.Matrix) (*tensor.Matrix, error) {
+	attnOut, err := l.Attn.Step(s.Attn, xNew)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(attnOut, xNew); err != nil {
+		return nil, err
+	}
+	y, err := tensor.LayerNorm(attnOut, l.LN1Gain, l.LN1Bias, l.Eps)
+	if err != nil {
+		return nil, err
+	}
+	f, err := l.ffn(y)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(f, y); err != nil {
+		return nil, err
+	}
+	return tensor.LayerNorm(f, l.LN2Gain, l.LN2Bias, l.Eps)
+}
+
+// Prefill runs the full stack over the embedded prompt x, returning the
+// final hidden states and a decode cache holding every layer's K/V.
+func (m *Model) Prefill(x *tensor.Matrix) (*tensor.Matrix, *DecodeState, error) {
+	if m.Cfg.Kind != KindDecoder {
+		return nil, nil, fmt.Errorf("model: %s is not a decoder", m.Cfg.Name)
+	}
+	state := &DecodeState{Layers: make([]*LayerState, len(m.Layers)), Pos: x.Rows()}
+	cur := x
+	for i, l := range m.Layers {
+		ls, err := l.PrefillState(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("layer %d prefill: %w", i, err)
+		}
+		state.Layers[i] = ls
+		out, err := l.Forward(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		cur = out
+	}
+	return cur, state, nil
+}
+
+// EmbedTokenAt embeds a single token at an absolute position — the decode
+// step's input. The embedding layer norm is position-wise, so the row is
+// identical to what EmbedTokens would produce at that index.
+func (e *Embedding) EmbedTokenAt(id, pos int) (*tensor.Matrix, error) {
+	if e.cfg.Kind == KindVision {
+		return nil, fmt.Errorf("model: %s is a vision model", e.cfg.Name)
+	}
+	if id < 0 || id >= e.cfg.VocabSize {
+		return nil, fmt.Errorf("model: token id %d outside vocab %d", id, e.cfg.VocabSize)
+	}
+	if pos < 0 || pos >= e.cfg.MaxSeq {
+		return nil, fmt.Errorf("model: position %d outside max %d", pos, e.cfg.MaxSeq)
+	}
+	out := tensor.New(1, e.cfg.F)
+	dst := out.Row(0)
+	tok := e.tokenTable.Row(id)
+	posRow := e.posTable.Row(pos)
+	for j := range dst {
+		dst[j] = tok[j] + posRow[j]
+	}
+	return tensor.LayerNorm(out, e.lnGain, e.lnBias, e.cfg.Eps())
+}
+
+// DecodeStep pushes one token through the cached stack, returning the
+// final hidden state of the new position (1×F) and advancing the cache.
+func (m *Model) DecodeStep(state *DecodeState, id int) (*tensor.Matrix, error) {
+	if len(state.Layers) != len(m.Layers) {
+		return nil, fmt.Errorf("model: cache has %d layers, model %d", len(state.Layers), len(m.Layers))
+	}
+	x, err := m.Embed.EmbedTokenAt(id, state.Pos)
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range m.Layers {
+		out, err := l.ForwardIncremental(state.Layers[i], x)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		x = out
+	}
+	state.Pos++
+	return x, nil
+}
+
+// GenerateIncremental decodes steps tokens greedily with the KV cache,
+// single-device. It is the reference the distributed decoder is tested
+// against.
+func (m *Model) GenerateIncremental(prompt []int, steps int) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("model: empty prompt")
+	}
+	x, err := m.Embed.EmbedTokens(prompt)
+	if err != nil {
+		return nil, err
+	}
+	hidden, state, err := m.Prefill(x)
+	if err != nil {
+		return nil, err
+	}
+	tokens := make([]int, len(prompt), len(prompt)+steps)
+	copy(tokens, prompt)
+	// First next-token from the prefill output.
+	last, err := hidden.RowSlice(hidden.Rows()-1, hidden.Rows())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < steps; i++ {
+		if len(tokens) >= m.Cfg.MaxSeq {
+			break
+		}
+		logits, err := m.lmLogits(last)
+		if err != nil {
+			return nil, err
+		}
+		next := Argmax(logits)
+		tokens = append(tokens, next)
+		if i == steps-1 || len(tokens) >= m.Cfg.MaxSeq {
+			break
+		}
+		last, err = m.DecodeStep(state, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tokens, nil
+}
+
+// lmLogits projects a single hidden row through the LM head.
+func (m *Model) lmLogits(row *tensor.Matrix) ([]float32, error) {
+	if m.LM == nil {
+		return nil, fmt.Errorf("model: %s has no LM head", m.Cfg.Name)
+	}
+	return m.LM.NextTokenLogits(row)
+}

@@ -1,0 +1,205 @@
+package model
+
+import (
+	"testing"
+
+	"voltage/internal/tensor"
+)
+
+func TestLayerIncrementalMatchesFullCausal(t *testing.T) {
+	l, err := NewRandomLayer(TinyDecoder(), tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	x := rng.Normal(9, l.F(), 1)
+	full, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, _ := x.RowSlice(0, 4)
+	state, err := l.PrefillState(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 4; pos < 9; pos++ {
+		row, _ := x.RowSlice(pos, pos+1)
+		out, err := l.ForwardIncremental(state, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(pos, pos+1)
+		if !out.AlmostEqual(want, 1e-3) {
+			d, _ := out.MaxAbsDiff(want)
+			t.Fatalf("incremental layer position %d differs by %v", pos, d)
+		}
+	}
+}
+
+func TestPrefillRequiresDecoder(t *testing.T) {
+	m, err := NewRandom(Tiny(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(4).Normal(4, m.Cfg.F, 1)
+	if _, _, err := m.Prefill(x); err == nil {
+		t.Fatal("want error for prefill on encoder")
+	}
+}
+
+func TestEmbedTokenAtMatchesEmbedTokens(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{3, 14, 15, 92}
+	full, err := m.Embed.EmbedTokens(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos, id := range ids {
+		row, err := m.Embed.EmbedTokenAt(id, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(pos, pos+1)
+		if !row.AlmostEqual(want, 1e-6) {
+			t.Fatalf("EmbedTokenAt(%d,%d) differs from EmbedTokens row", id, pos)
+		}
+	}
+}
+
+func TestEmbedTokenAtValidation(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Embed.EmbedTokenAt(-1, 0); err == nil {
+		t.Fatal("want error for bad id")
+	}
+	if _, err := m.Embed.EmbedTokenAt(0, 9999); err == nil {
+		t.Fatal("want error for bad position")
+	}
+	vm, err := NewRandom(TinyVision(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Embed.EmbedTokenAt(0, 0); err == nil {
+		t.Fatal("want error for vision model")
+	}
+}
+
+func TestDecodeStepMatchesFullRecompute(t *testing.T) {
+	// Pushing tokens through the cache must give the same hidden state as
+	// re-running the whole stack on the extended sequence.
+	m, err := NewRandom(TinyDecoder(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{5, 9, 27}
+	x, err := m.Embed.EmbedTokens(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, state, err := m.Prefill(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := append([]int(nil), prompt...)
+	for _, next := range []int{41, 7, 63} {
+		got, err := m.DecodeStep(state, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, next)
+		fullX, err := m.Embed.EmbedTokens(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := m.ForwardFeatures(fullX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.RowSlice(full.Rows()-1, full.Rows())
+		if !got.AlmostEqual(want, 1e-2) {
+			d, _ := got.MaxAbsDiff(want)
+			t.Fatalf("decode step for token %d differs from recompute by %v", next, d)
+		}
+	}
+	if state.Pos != 6 {
+		t.Fatalf("state.Pos = %d, want 6", state.Pos)
+	}
+}
+
+func TestDecodeStepLayerMismatch(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeStep(&DecodeState{}, 1); err == nil {
+		t.Fatal("want error for empty cache")
+	}
+}
+
+func TestGenerateIncrementalMatchesFullGenerate(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{1, 2, 3}
+	const steps = 5
+	fast, err := m.GenerateIncremental(prompt, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: naive full-recompute greedy decoding.
+	slow := append([]int(nil), prompt...)
+	for i := 0; i < steps; i++ {
+		next, err := m.NextToken(slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow = append(slow, next)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("lengths differ: %d vs %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("incremental and full decoding diverge at %d: %v vs %v", i, fast, slow)
+		}
+	}
+}
+
+func TestGenerateIncrementalValidation(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GenerateIncremental(nil, 3); err == nil {
+		t.Fatal("want error for empty prompt")
+	}
+	enc, err := NewRandom(Tiny(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.GenerateIncremental([]int{1}, 3); err == nil {
+		t.Fatal("want error for encoder")
+	}
+}
+
+func TestGenerateIncrementalRespectsMaxSeq(t *testing.T) {
+	cfg := TinyDecoder()
+	cfg.MaxSeq = 5
+	m, err := NewRandom(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.GenerateIncremental([]int{1, 2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) > 5 {
+		t.Fatalf("generated %d tokens past MaxSeq", len(out))
+	}
+}

@@ -1,0 +1,184 @@
+package model
+
+import (
+	"fmt"
+
+	"voltage/internal/attention"
+	"voltage/internal/flopcount"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+// Layer is one transformer layer: multi-head self-attention with residual
+// and layer norm, followed by a position-wise feed-forward network with
+// residual and layer norm (post-LN, as in the original transformer and
+// BERT).
+type Layer struct {
+	Attn *attention.MultiHead
+
+	// Feed-forward network: Act(x·W1 + b1)·W2 + b2.
+	W1 *tensor.Matrix
+	B1 []float32
+	W2 *tensor.Matrix
+	B2 []float32
+
+	// Layer norm parameters after attention (1) and after FFN (2).
+	LN1Gain, LN1Bias []float32
+	LN2Gain, LN2Bias []float32
+
+	Act    tensor.Activation
+	Eps    float32
+	Causal bool // decoder layers mask future positions
+}
+
+// NewRandomLayer builds a deterministic layer for the given architecture.
+func NewRandomLayer(cfg Config, rng *tensor.RNG) (*Layer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mh, err := attention.RandomMultiHead(rng, cfg.Heads, cfg.F, cfg.FH())
+	if err != nil {
+		return nil, err
+	}
+	return &Layer{
+		Attn:    mh,
+		W1:      rng.XavierNormal(cfg.F, cfg.FFN),
+		B1:      tensor.Zeros(cfg.FFN),
+		W2:      rng.XavierNormal(cfg.FFN, cfg.F),
+		B2:      tensor.Zeros(cfg.F),
+		LN1Gain: tensor.Ones(cfg.F),
+		LN1Bias: tensor.Zeros(cfg.F),
+		LN2Gain: tensor.Ones(cfg.F),
+		LN2Bias: tensor.Zeros(cfg.F),
+		Act:     cfg.Act,
+		Eps:     cfg.Eps(),
+		Causal:  cfg.Kind == KindDecoder,
+	}, nil
+}
+
+// F returns the layer's feature dimensionality.
+func (l *Layer) F() int { return l.Attn.F() }
+
+// ffn applies the position-wise feed-forward network to m.
+func (l *Layer) ffn(m *tensor.Matrix) (*tensor.Matrix, error) {
+	h, err := tensor.MatMul(m, l.W1)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasInPlace(h, l.B1); err != nil {
+		return nil, err
+	}
+	l.Act.ApplyInPlace(h)
+	out, err := tensor.MatMul(h, l.W2)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasInPlace(out, l.B2); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Forward computes the full layer output T(x) for all positions (the
+// single-device path).
+func (l *Layer) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	out, _, err := l.ForwardPartition(x, partition.Range{From: 0, To: x.Rows()})
+	return out, err
+}
+
+// ForwardPartition implements Algorithm 1: it computes the layer output
+// partition T_p(x) for the position range r, choosing the self-attention
+// computation order by Theorem 2, and returns the order used.
+func (l *Layer) ForwardPartition(x *tensor.Matrix, r partition.Range) (*tensor.Matrix, flopcount.Order, error) {
+	if r.From < 0 || r.To > x.Rows() || r.From > r.To {
+		return nil, 0, fmt.Errorf("%w: partition %v of %d rows", tensor.ErrShape, r, x.Rows())
+	}
+	if r.Empty() {
+		return tensor.New(0, x.Cols()), flopcount.OrderNaive, nil
+	}
+	xp, err := x.RowSlice(r.From, r.To)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Line 3 of Algorithm 1: the Theorem 2 test. All heads share the same
+	// shape so one selection covers every head.
+	shape := flopcount.Shape{N: x.Rows(), P: r.Len(), F: l.Attn.F(), FH: l.Attn.FH()}
+	order := flopcount.SelectOrder(shape)
+
+	// Lines 2–9: per-head attention in the selected order, concatenated
+	// and projected by WO.
+	attnOut, err := l.Attn.ForwardWithOptions(x, xp, attention.Options{
+		Order: order, Causal: l.Causal, RowOffset: r.From,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Line 10: Y ← LayerNorm(R + x_p).
+	if err := tensor.AddInPlace(attnOut, xp); err != nil {
+		return nil, 0, err
+	}
+	y, err := tensor.LayerNorm(attnOut, l.LN1Gain, l.LN1Bias, l.Eps)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Line 11: T_p(x) ← LayerNorm(Y + FFN(Y)).
+	f, err := l.ffn(y)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := tensor.AddInPlace(f, y); err != nil {
+		return nil, 0, err
+	}
+	out, err := tensor.LayerNorm(f, l.LN2Gain, l.LN2Bias, l.Eps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, order, nil
+}
+
+// ForwardPartitionFixedOrder is ForwardPartition with the attention
+// computation order forced (used by the naive-partition baseline in the
+// Fig. 6 experiment and by ablations).
+func (l *Layer) ForwardPartitionFixedOrder(x *tensor.Matrix, r partition.Range, order flopcount.Order) (*tensor.Matrix, error) {
+	if r.From < 0 || r.To > x.Rows() || r.From > r.To {
+		return nil, fmt.Errorf("%w: partition %v of %d rows", tensor.ErrShape, r, x.Rows())
+	}
+	if r.Empty() {
+		return tensor.New(0, x.Cols()), nil
+	}
+	xp, err := x.RowSlice(r.From, r.To)
+	if err != nil {
+		return nil, err
+	}
+	attnOut, err := l.Attn.ForwardWithOptions(x, xp, attention.Options{
+		Order: order, Causal: l.Causal, RowOffset: r.From,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(attnOut, xp); err != nil {
+		return nil, err
+	}
+	y, err := tensor.LayerNorm(attnOut, l.LN1Gain, l.LN1Bias, l.Eps)
+	if err != nil {
+		return nil, err
+	}
+	f, err := l.ffn(y)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(f, y); err != nil {
+		return nil, err
+	}
+	return tensor.LayerNorm(f, l.LN2Gain, l.LN2Bias, l.Eps)
+}
+
+// Cost returns the analytic Γ of computing a partition of length p of this
+// layer for input length n under Algorithm 1's selected order.
+func (l *Layer) Cost(n, p int) (int64, error) {
+	shape := flopcount.Shape{N: n, P: p, F: l.Attn.F(), FH: l.Attn.FH()}
+	return flopcount.LayerCost(shape, l.Attn.H(), l.W1.Cols(), flopcount.SelectOrder(shape))
+}

@@ -1,0 +1,190 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"voltage/internal/flopcount"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+func tinyLayer(t testing.TB, seed int64) *Layer {
+	t.Helper()
+	l, err := NewRandomLayer(Tiny(), tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewRandomLayerRejectsInvalidConfig(t *testing.T) {
+	bad := Tiny()
+	bad.Layers = 0
+	if _, err := NewRandomLayer(bad, tensor.NewRNG(1)); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestLayerPartitionEqualsFullSlice(t *testing.T) {
+	// The core claim of §III: a partitioned layer computes exactly the
+	// corresponding rows of the full layer output.
+	f := func(seed int64) bool {
+		l := tinyLayer(t, seed)
+		rng := tensor.NewRNG(seed + 1)
+		n := 4 + rng.Intn(28)
+		x := rng.Normal(n, l.F(), 1)
+		full, err := l.Forward(x)
+		if err != nil {
+			return false
+		}
+		from := rng.Intn(n)
+		to := from + 1 + rng.Intn(n-from)
+		part, order, err := l.ForwardPartition(x, partition.Range{From: from, To: to})
+		if err != nil {
+			t.Logf("ForwardPartition: %v", err)
+			return false
+		}
+		want, err := full.RowSlice(from, to)
+		if err != nil {
+			return false
+		}
+		if !part.AlmostEqual(want, 1e-3) {
+			d, _ := part.MaxAbsDiff(want)
+			t.Logf("partition [%d,%d) order %v differs by %v", from, to, order, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCausalLayerPartitionEqualsFullSlice(t *testing.T) {
+	l, err := NewRandomLayer(TinyDecoder(), tensor.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Causal {
+		t.Fatal("decoder layer not causal")
+	}
+	rng := tensor.NewRNG(6)
+	x := rng.Normal(16, l.F(), 1)
+	full, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _, err := l.ForwardPartition(x, partition.Range{From: 5, To: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := full.RowSlice(5, 12)
+	if !part.AlmostEqual(want, 1e-3) {
+		t.Fatal("causal partition differs from full slice")
+	}
+}
+
+func TestForwardPartitionEmptyRange(t *testing.T) {
+	l := tinyLayer(t, 9)
+	x := tensor.NewRNG(10).Normal(8, l.F(), 1)
+	out, _, err := l.ForwardPartition(x, partition.Range{From: 3, To: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 0 || out.Cols() != l.F() {
+		t.Fatalf("empty partition shape %dx%d", out.Rows(), out.Cols())
+	}
+}
+
+func TestForwardPartitionRangeValidation(t *testing.T) {
+	l := tinyLayer(t, 11)
+	x := tensor.NewRNG(12).Normal(8, l.F(), 1)
+	for _, r := range []partition.Range{{From: -1, To: 2}, {From: 0, To: 9}, {From: 5, To: 2}} {
+		if _, _, err := l.ForwardPartition(x, r); !errors.Is(err, tensor.ErrShape) {
+			t.Fatalf("range %v: want ErrShape, got %v", r, err)
+		}
+		if _, err := l.ForwardPartitionFixedOrder(x, r, flopcount.OrderNaive); !errors.Is(err, tensor.ErrShape) {
+			t.Fatalf("fixed order range %v: want ErrShape, got %v", r, err)
+		}
+	}
+}
+
+func TestFixedOrderMatchesAdaptive(t *testing.T) {
+	l := tinyLayer(t, 13)
+	x := tensor.NewRNG(14).Normal(20, l.F(), 1)
+	r := partition.Range{From: 2, To: 7}
+	adaptive, order, err := l.ForwardPartition(x, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := l.ForwardPartitionFixedOrder(x, r, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Equal(same) {
+		t.Fatal("fixed order with the adaptive pick differs")
+	}
+	other, err := l.ForwardPartitionFixedOrder(x, r, flopcount.OrderNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.AlmostEqual(other, 1e-3) {
+		t.Fatal("different orders give numerically different layers")
+	}
+	emptyOut, err := l.ForwardPartitionFixedOrder(x, partition.Range{From: 4, To: 4}, flopcount.OrderNaive)
+	if err != nil || emptyOut.Rows() != 0 {
+		t.Fatalf("empty fixed order: %v rows %d", err, emptyOut.Rows())
+	}
+}
+
+func TestPartitionsAssembleToFullLayerOutput(t *testing.T) {
+	// ∪ Tpi(x) = T(x) across an uneven 3-way scheme.
+	l := tinyLayer(t, 15)
+	rng := tensor.NewRNG(16)
+	x := rng.Normal(17, l.F(), 1)
+	full, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := partition.Weighted([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := scheme.Ranges(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled := tensor.New(17, l.F())
+	for _, r := range ranges {
+		part, _, err := l.ForwardPartition(x, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := assembled.SetRowSlice(r.From, part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !assembled.AlmostEqual(full, 1e-3) {
+		t.Fatal("scheme partitions do not assemble to the full output")
+	}
+}
+
+func TestLayerCost(t *testing.T) {
+	l := tinyLayer(t, 17)
+	c, err := l.Cost(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Fatalf("Cost = %d", c)
+	}
+	cFull, err := l.Cost(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cFull <= c {
+		t.Fatal("full-partition cost should exceed 1/8 partition cost")
+	}
+}

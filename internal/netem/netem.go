@@ -1,0 +1,156 @@
+// Package netem emulates edge-network conditions — limited bandwidth and
+// propagation latency — for both the in-memory and the TCP transports.
+//
+// The model follows the paper's testbed ("we limit the network bandwidth to
+// 500 Mbps"): every device has a network interface with a fixed line rate,
+// and a transfer of s bytes from A to B serializes over the bottleneck of
+// A's egress and B's ingress. Concurrent transfers sharing a NIC queue
+// behind each other, which is what makes All-Reduce-heavy schemes slow at
+// the edge.
+package netem
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mbps converts megabits per second to bytes per second.
+func Mbps(mbps float64) float64 { return mbps * 1e6 / 8 }
+
+// NIC is a serializing network interface: at most `rate` bytes per second
+// pass through it, and concurrent reservations queue. A zero rate means
+// unlimited. NIC is safe for concurrent use.
+type NIC struct {
+	id        uint64 // creation order, used for deadlock-free pair locking
+	mu        sync.Mutex
+	rate      float64 // bytes per second; 0 = unlimited
+	busyUntil time.Time
+}
+
+var nicIDs atomic.Uint64
+
+// NewNIC returns an interface limited to rate bytes per second (0 =
+// unlimited).
+func NewNIC(rate float64) *NIC {
+	return &NIC{id: nicIDs.Add(1), rate: rate}
+}
+
+// Rate returns the configured rate in bytes per second.
+func (n *NIC) Rate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rate
+}
+
+// SetRate changes the line rate (0 = unlimited). In-flight reservations are
+// unaffected.
+func (n *NIC) SetRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rate = rate
+}
+
+// serialization returns how long size bytes occupy the interface.
+func (n *NIC) serialization(size int) time.Duration {
+	if n.rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / n.rate * float64(time.Second))
+}
+
+// Reserve books the interface for size bytes starting no earlier than now,
+// returning the completion time. Reservations are strictly serialized.
+func (n *NIC) Reserve(now time.Time, size int) time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	start := now
+	if n.busyUntil.After(start) {
+		start = n.busyUntil
+	}
+	end := start.Add(n.serialization(size))
+	n.busyUntil = end
+	return end
+}
+
+// Transfer models moving size bytes from the src to the dst interface:
+// both are reserved together (the transfer serializes over the slower one)
+// and the returned time is when the last byte clears both NICs. Propagation
+// latency is added by the caller.
+func Transfer(now time.Time, src, dst *NIC, size int) time.Time {
+	if src == dst {
+		return src.Reserve(now, size)
+	}
+	// Lock both in creation order to avoid deadlocks between concurrent
+	// opposite-direction transfers.
+	first, second := src, dst
+	if dst.id < src.id {
+		first, second = dst, src
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer first.mu.Unlock()
+	defer second.mu.Unlock()
+
+	start := now
+	if src.busyUntil.After(start) {
+		start = src.busyUntil
+	}
+	if dst.busyUntil.After(start) {
+		start = dst.busyUntil
+	}
+	d := src.serialization(size)
+	if dd := dst.serialization(size); dd > d {
+		d = dd
+	}
+	end := start.Add(d)
+	src.busyUntil = end
+	dst.busyUntil = end
+	return end
+}
+
+// SleepUntil blocks until t (or ctx is done), using wall-clock time. It
+// returns ctx.Err() when cancelled.
+func SleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Profile bundles the emulated network parameters of a deployment.
+type Profile struct {
+	// BandwidthMbps is the per-device line rate in megabits per second;
+	// 0 disables shaping.
+	BandwidthMbps float64
+	// Latency is the one-way propagation delay per message.
+	Latency time.Duration
+}
+
+// Rate returns the profile's line rate in bytes per second.
+func (p Profile) Rate() float64 { return Mbps(p.BandwidthMbps) }
+
+// Unlimited is the no-emulation profile.
+var Unlimited = Profile{}
+
+// EdgeDefault mirrors the paper's default setting: 500 Mbps links with a
+// small LAN-scale propagation delay.
+var EdgeDefault = Profile{BandwidthMbps: 500, Latency: 200 * time.Microsecond}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	if p.BandwidthMbps <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.0fMbps/%s", p.BandwidthMbps, p.Latency)
+}

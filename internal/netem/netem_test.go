@@ -1,0 +1,149 @@
+package netem
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMbps(t *testing.T) {
+	if Mbps(8) != 1e6 {
+		t.Fatalf("Mbps(8) = %v, want 1e6 B/s", Mbps(8))
+	}
+	if Mbps(500) != 62.5e6 {
+		t.Fatalf("Mbps(500) = %v", Mbps(500))
+	}
+}
+
+func TestNICSerialization(t *testing.T) {
+	n := NewNIC(1000) // 1000 B/s
+	now := time.Now()
+	end := n.Reserve(now, 500)
+	if d := end.Sub(now); d < 499*time.Millisecond || d > 501*time.Millisecond {
+		t.Fatalf("500 B at 1000 B/s took %v, want ~500ms", d)
+	}
+}
+
+func TestNICQueuesReservations(t *testing.T) {
+	n := NewNIC(1000)
+	now := time.Now()
+	end1 := n.Reserve(now, 100)
+	end2 := n.Reserve(now, 100)
+	if !end2.After(end1) {
+		t.Fatal("second reservation did not queue behind first")
+	}
+	if d := end2.Sub(now); d < 199*time.Millisecond {
+		t.Fatalf("queued reservation completed at %v, want ≥200ms", d)
+	}
+}
+
+func TestNICUnlimited(t *testing.T) {
+	n := NewNIC(0)
+	now := time.Now()
+	if end := n.Reserve(now, 1<<30); end.After(now) {
+		t.Fatal("unlimited NIC delayed a transfer")
+	}
+}
+
+func TestNICSetRate(t *testing.T) {
+	n := NewNIC(100)
+	if n.Rate() != 100 {
+		t.Fatalf("Rate = %v", n.Rate())
+	}
+	n.SetRate(200)
+	if n.Rate() != 200 {
+		t.Fatalf("Rate after SetRate = %v", n.Rate())
+	}
+}
+
+func TestTransferBottleneck(t *testing.T) {
+	fast := NewNIC(1e6)
+	slow := NewNIC(1000)
+	now := time.Now()
+	end := Transfer(now, fast, slow, 1000)
+	if d := end.Sub(now); d < 999*time.Millisecond || d > 1001*time.Millisecond {
+		t.Fatalf("transfer over 1000 B/s bottleneck took %v, want ~1s", d)
+	}
+}
+
+func TestTransferSelf(t *testing.T) {
+	n := NewNIC(1000)
+	now := time.Now()
+	end := Transfer(now, n, n, 500)
+	if d := end.Sub(now); d < 499*time.Millisecond {
+		t.Fatalf("self transfer took %v", d)
+	}
+}
+
+func TestTransferOppositeDirectionsNoDeadlock(t *testing.T) {
+	a, b := NewNIC(1e9), NewNIC(1e9)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); Transfer(time.Now(), a, b, 100) }()
+		go func() { defer wg.Done(); Transfer(time.Now(), b, a, 100) }()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock between opposite-direction transfers")
+	}
+}
+
+func TestTransferSerializesBothEndpoints(t *testing.T) {
+	// Two transfers into the same receiver contend for its ingress: the
+	// second must finish roughly twice as late.
+	recv := NewNIC(1000)
+	s1, s2 := NewNIC(0), NewNIC(0)
+	now := time.Now()
+	end1 := Transfer(now, s1, recv, 100)
+	end2 := Transfer(now, s2, recv, 100)
+	if end2.Sub(now) < 199*time.Millisecond {
+		t.Fatalf("receiver ingress not serialized: %v then %v", end1.Sub(now), end2.Sub(now))
+	}
+}
+
+func TestSleepUntil(t *testing.T) {
+	start := time.Now()
+	if err := SleepUntil(context.Background(), start.Add(30*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("SleepUntil returned early")
+	}
+	// Past deadline: immediate.
+	if err := SleepUntil(context.Background(), time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepUntilCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := SleepUntil(ctx, time.Now().Add(10*time.Second))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	if Unlimited.Rate() != 0 || Unlimited.String() != "unlimited" {
+		t.Fatal("Unlimited profile broken")
+	}
+	if EdgeDefault.BandwidthMbps != 500 {
+		t.Fatalf("EdgeDefault = %v", EdgeDefault)
+	}
+	p := Profile{BandwidthMbps: 200, Latency: time.Millisecond}
+	if p.Rate() != Mbps(200) {
+		t.Fatalf("Rate = %v", p.Rate())
+	}
+	if p.String() == "" {
+		t.Fatal("String empty")
+	}
+}

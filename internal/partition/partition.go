@@ -1,0 +1,153 @@
+// Package partition implements the partition schemes of Section V-B of the
+// Voltage paper: a scheme is a vector of ratios [p1…pK] with 0 ≤ pi ≤ 1 and
+// Σpi = 1, mapping each device to a contiguous, non-overlapping range of
+// sequence positions whose union covers the whole sequence.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidScheme is returned when a ratio vector violates the paper's two
+// conditions.
+var ErrInvalidScheme = errors.New("partition: invalid scheme")
+
+// Range is a half-open interval of sequence positions [From, To) assigned
+// to one device.
+type Range struct {
+	From, To int
+}
+
+// Len returns the number of positions in the range.
+func (r Range) Len() int { return r.To - r.From }
+
+// Empty reports whether the range contains no positions.
+func (r Range) Empty() bool { return r.To <= r.From }
+
+// String implements fmt.Stringer.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.From, r.To) }
+
+// Scheme is a ratio vector over K devices.
+type Scheme struct {
+	ratios []float64
+}
+
+const ratioTolerance = 1e-9
+
+// New validates and wraps a ratio vector. The conditions are those of the
+// paper: every ratio in [0, 1] and the ratios summing to 1 (within floating
+// point tolerance).
+func New(ratios []float64) (*Scheme, error) {
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("%w: empty ratio vector", ErrInvalidScheme)
+	}
+	var sum float64
+	for i, p := range ratios {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("%w: ratio[%d] = %v outside [0,1]", ErrInvalidScheme, i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > ratioTolerance {
+		return nil, fmt.Errorf("%w: ratios sum to %v, want 1", ErrInvalidScheme, sum)
+	}
+	cp := make([]float64, len(ratios))
+	copy(cp, ratios)
+	return &Scheme{ratios: cp}, nil
+}
+
+// Even returns the uniform scheme over k devices ([1/k … 1/k]), the setting
+// used throughout the paper's evaluation.
+func Even(k int) (*Scheme, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrInvalidScheme, k)
+	}
+	ratios := make([]float64, k)
+	for i := range ratios {
+		ratios[i] = 1 / float64(k)
+	}
+	return &Scheme{ratios: ratios}, nil
+}
+
+// Weighted returns a scheme proportional to the given non-negative device
+// weights (e.g. relative compute speeds), normalizing them to sum to 1. It
+// supports the heterogeneous-device flexibility of §V-B.
+func Weighted(weights []float64) (*Scheme, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: empty weights", ErrInvalidScheme)
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight[%d] = %v", ErrInvalidScheme, i, w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("%w: all weights zero", ErrInvalidScheme)
+	}
+	ratios := make([]float64, len(weights))
+	for i, w := range weights {
+		ratios[i] = w / sum
+	}
+	return &Scheme{ratios: ratios}, nil
+}
+
+// K returns the number of devices in the scheme.
+func (s *Scheme) K() int { return len(s.ratios) }
+
+// Ratios returns a copy of the ratio vector.
+func (s *Scheme) Ratios() []float64 {
+	cp := make([]float64, len(s.ratios))
+	copy(cp, s.ratios)
+	return cp
+}
+
+// Ranges maps the scheme onto a sequence of length n, returning one Range
+// per device. Boundaries are computed from cumulative ratios with rounding,
+// which guarantees the ranges are contiguous, non-overlapping and cover
+// [0, n) exactly — the paper's ∪Tpi(x) = T(x), Tpi ∩ Tpj = ∅ conditions —
+// even when n is not divisible by K.
+func (s *Scheme) Ranges(n int) ([]Range, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: sequence length %d", ErrInvalidScheme, n)
+	}
+	out := make([]Range, len(s.ratios))
+	var cum float64
+	prev := 0
+	for i, p := range s.ratios {
+		cum += p
+		end := int(math.Round(cum * float64(n)))
+		if end > n {
+			end = n
+		}
+		if i == len(s.ratios)-1 {
+			end = n // absorb rounding residue on the last device
+		}
+		if end < prev {
+			end = prev
+		}
+		out[i] = Range{From: prev, To: end}
+		prev = end
+	}
+	return out, nil
+}
+
+// Range returns device i's position range for a sequence of length n.
+func (s *Scheme) Range(i, n int) (Range, error) {
+	if i < 0 || i >= len(s.ratios) {
+		return Range{}, fmt.Errorf("%w: device %d of %d", ErrInvalidScheme, i, len(s.ratios))
+	}
+	rs, err := s.Ranges(n)
+	if err != nil {
+		return Range{}, err
+	}
+	return rs[i], nil
+}
+
+// String implements fmt.Stringer.
+func (s *Scheme) String() string {
+	return fmt.Sprintf("Scheme%v", s.ratios)
+}

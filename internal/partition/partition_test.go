@@ -1,0 +1,219 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		ratios []float64
+		ok     bool
+	}{
+		{"even pair", []float64{0.5, 0.5}, true},
+		{"uneven", []float64{0.2, 0.3, 0.5}, true},
+		{"single", []float64{1}, true},
+		{"zero entry allowed", []float64{0, 1}, true},
+		{"empty", nil, false},
+		{"negative", []float64{-0.1, 1.1}, false},
+		{"above one", []float64{1.5, -0.5}, false},
+		{"sum below one", []float64{0.2, 0.2}, false},
+		{"sum above one", []float64{0.8, 0.8}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.ratios)
+			if (err == nil) != c.ok {
+				t.Fatalf("New(%v) err=%v, want ok=%v", c.ratios, err, c.ok)
+			}
+			if err != nil && !errors.Is(err, ErrInvalidScheme) {
+				t.Fatalf("error not ErrInvalidScheme: %v", err)
+			}
+		})
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	in := []float64{0.5, 0.5}
+	s, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 99
+	if s.Ratios()[0] != 0.5 {
+		t.Fatal("scheme aliases caller slice")
+	}
+}
+
+func TestEven(t *testing.T) {
+	s, err := Even(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 4 {
+		t.Fatalf("K = %d", s.K())
+	}
+	for _, p := range s.Ratios() {
+		if p != 0.25 {
+			t.Fatalf("ratio %v", p)
+		}
+	}
+	if _, err := Even(0); !errors.Is(err, ErrInvalidScheme) {
+		t.Fatalf("want ErrInvalidScheme, got %v", err)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	s, err := Weighted([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Ratios()
+	if r[0] != 0.25 || r[1] != 0.75 {
+		t.Fatalf("Weighted ratios = %v", r)
+	}
+	if _, err := Weighted(nil); !errors.Is(err, ErrInvalidScheme) {
+		t.Fatal("want error on empty")
+	}
+	if _, err := Weighted([]float64{0, 0}); !errors.Is(err, ErrInvalidScheme) {
+		t.Fatal("want error on all-zero")
+	}
+	if _, err := Weighted([]float64{-1, 2}); !errors.Is(err, ErrInvalidScheme) {
+		t.Fatal("want error on negative")
+	}
+}
+
+func TestRangesCoverAndDisjoint(t *testing.T) {
+	// The paper's two conditions: no overlap, full coverage. Check for
+	// arbitrary schemes and lengths.
+	f := func(seed int64) bool {
+		x := uint64(seed)
+		next := func(mod int) int {
+			x = x*6364136223846793005 + 1442695040888963407
+			return int(x>>33) % mod
+		}
+		k := 1 + next(8)
+		weights := make([]float64, k)
+		for i := range weights {
+			weights[i] = float64(1 + next(10))
+		}
+		s, err := Weighted(weights)
+		if err != nil {
+			return false
+		}
+		n := next(500)
+		rs, err := s.Ranges(n)
+		if err != nil {
+			return false
+		}
+		if len(rs) != k {
+			return false
+		}
+		prev := 0
+		for _, r := range rs {
+			if r.From != prev || r.To < r.From {
+				return false
+			}
+			prev = r.To
+		}
+		return prev == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangesEvenSplit(t *testing.T) {
+	s, _ := Even(3)
+	rs, err := s.Ranges(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Range{{0, 3}, {3, 6}, {6, 9}}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("Ranges = %v, want %v", rs, want)
+		}
+	}
+}
+
+func TestRangesIndivisible(t *testing.T) {
+	s, _ := Even(3)
+	rs, err := s.Ranges(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range rs {
+		if r.Len() < 3 || r.Len() > 4 {
+			t.Fatalf("lopsided range %v in %v", r, rs)
+		}
+		total += r.Len()
+	}
+	if total != 10 {
+		t.Fatalf("ranges cover %d of 10", total)
+	}
+}
+
+func TestRangesNegativeLength(t *testing.T) {
+	s, _ := Even(2)
+	if _, err := s.Ranges(-1); !errors.Is(err, ErrInvalidScheme) {
+		t.Fatalf("want ErrInvalidScheme, got %v", err)
+	}
+}
+
+func TestRangesZeroLength(t *testing.T) {
+	s, _ := Even(3)
+	rs, err := s.Ranges(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Empty() {
+			t.Fatalf("non-empty range %v for n=0", r)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s, _ := Even(2)
+	r, err := s.Range(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != (Range{5, 10}) {
+		t.Fatalf("Range = %v", r)
+	}
+	if _, err := s.Range(2, 10); !errors.Is(err, ErrInvalidScheme) {
+		t.Fatalf("want ErrInvalidScheme for OOB device, got %v", err)
+	}
+	if _, err := s.Range(-1, 10); !errors.Is(err, ErrInvalidScheme) {
+		t.Fatalf("want ErrInvalidScheme for negative device, got %v", err)
+	}
+}
+
+func TestZeroRatioDeviceGetsEmptyRange(t *testing.T) {
+	s, err := New([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Ranges(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Empty() || rs[1].Len() != 7 {
+		t.Fatalf("Ranges = %v", rs)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if (Range{1, 4}).String() != "[1,4)" {
+		t.Fatal("Range.String")
+	}
+	s, _ := Even(2)
+	if s.String() == "" {
+		t.Fatal("Scheme.String empty")
+	}
+}

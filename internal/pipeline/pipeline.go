@@ -1,0 +1,116 @@
+// Package pipeline implements the pipeline-parallelism baseline the paper
+// discusses (and declines to benchmark): the transformer stack is split
+// layer-wise across devices and requests stream through the stages
+// (GPipe/PipeEdge style).
+//
+// The paper's argument is that pipelining optimizes *throughput* given
+// enough concurrent microbatches but cannot reduce the *latency* of an
+// individual request — at batch size 1 the pipeline is a relay race: every
+// stage computes sequentially and inter-stage transfers are added on top.
+// This package lets the experiment harness demonstrate that quantitatively
+// (see the "pipeline" experiment): single-request latency ≥ single-device
+// latency, while throughput approaches K× once the pipeline fills.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"voltage/internal/comm"
+	"voltage/internal/model"
+	"voltage/internal/tensor"
+)
+
+// Stage is one device's contiguous slice of the layer stack.
+type Stage struct {
+	Layers []*model.Layer
+	// First is the index of the stage's first layer in the full stack.
+	First int
+}
+
+// ShardLayers assigns device rank (of k) its contiguous near-even block of
+// m's layers. Every device must hold a model replica (as in Voltage) or at
+// least its own block; replicas make the assignment trivial.
+func ShardLayers(m *model.Model, rank, k int) (*Stage, error) {
+	if k < 1 || rank < 0 || rank >= k {
+		return nil, fmt.Errorf("pipeline: rank %d of %d", rank, k)
+	}
+	l := len(m.Layers)
+	lo, hi := rank*l/k, (rank+1)*l/k
+	return &Stage{Layers: m.Layers[lo:hi], First: lo}, nil
+}
+
+// Forward runs the stage's layers on x (full positions — pipeline
+// parallelism does not partition within a layer).
+func (s *Stage) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	cur := x
+	for i, l := range s.Layers {
+		out, err := l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: layer %d: %w", s.First+i, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Cost returns the analytic Γ of Forward for input length n (used for
+// device pacing).
+func (s *Stage) Cost(n int) (int64, error) {
+	var total int64
+	for _, l := range s.Layers {
+		c, err := l.Cost(n, n)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// Pacer matches the cluster's device-pacing hook.
+type Pacer func(ctx context.Context, start time.Time, flops int64) error
+
+// RunStage serves one device's pipeline stage: it receives microbatch
+// activations from the upstream peer (the terminal for stage 0), runs its
+// layers, and forwards downstream (the terminal for the last stage). It
+// processes exactly `requests` microbatches, in order.
+func RunStage(ctx context.Context, p comm.Peer, terminalRank int, stage *Stage, rank, k, requests int, pace Pacer) error {
+	upstream := terminalRank
+	if rank > 0 {
+		upstream = rank - 1
+	}
+	downstream := terminalRank
+	if rank < k-1 {
+		downstream = rank + 1
+	}
+	for req := 0; req < requests; req++ {
+		blob, err := p.Recv(ctx, upstream)
+		if err != nil {
+			return fmt.Errorf("pipeline: stage %d recv req %d: %w", rank, req, err)
+		}
+		x, _, err := tensor.Decode(blob)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		out, err := stage.Forward(x)
+		if err != nil {
+			return err
+		}
+		if pace != nil {
+			cost, err := stage.Cost(x.Rows())
+			if err != nil {
+				return err
+			}
+			if err := pace(ctx, start, cost); err != nil {
+				return err
+			}
+		}
+		if err := p.Send(ctx, downstream, tensor.Encode(nil, out)); err != nil {
+			return fmt.Errorf("pipeline: stage %d send req %d: %w", rank, req, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"voltage/internal/comm"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+	"voltage/internal/tensor"
+)
+
+func TestShardLayersValidation(t *testing.T) {
+	m, err := model.NewRandom(model.Tiny(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ShardLayers(m, 2, 2); err == nil {
+		t.Fatal("want error for rank == k")
+	}
+	if _, err := ShardLayers(m, -1, 2); err == nil {
+		t.Fatal("want error for negative rank")
+	}
+	if _, err := ShardLayers(m, 0, 0); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}
+
+func TestShardLayersCoverAllLayersOnce(t *testing.T) {
+	m, err := model.NewRandom(model.Tiny().Scaled(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	prevEnd := 0
+	for r := 0; r < 3; r++ {
+		st, err := ShardLayers(m, r, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.First != prevEnd {
+			t.Fatalf("stage %d starts at %d, want %d", r, st.First, prevEnd)
+		}
+		covered += len(st.Layers)
+		prevEnd = st.First + len(st.Layers)
+	}
+	if covered != 7 || prevEnd != 7 {
+		t.Fatalf("stages cover %d layers ending at %d", covered, prevEnd)
+	}
+}
+
+func TestStageForwardEqualsStackedLayers(t *testing.T) {
+	m, err := model.NewRandom(model.Tiny().Scaled(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(3).Normal(6, m.Cfg.F, 1)
+	full, err := m.ForwardFeatures(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := x
+	for r := 0; r < 2; r++ {
+		st, err := ShardLayers(m, r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err = st.Forward(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cur.AlmostEqual(full, 1e-3) {
+		t.Fatal("chained stages differ from full forward")
+	}
+}
+
+func TestStageCost(t *testing.T) {
+	m, err := model.NewRandom(model.Tiny().Scaled(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ShardLayers(m, 0, 2) // 2 layers
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Cost(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := m.Layers[0].Cost(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 2*per {
+		t.Fatalf("stage cost %d, want %d", c, 2*per)
+	}
+	empty := &Stage{}
+	if ec, err := empty.Cost(16); err != nil || ec != 0 {
+		t.Fatalf("empty stage cost %d err %v", ec, err)
+	}
+}
+
+func TestRunStageRelay(t *testing.T) {
+	// Two stages + a terminal on a 3-mesh: results must match the full
+	// model, two requests in order.
+	m, err := model.NewRandom(model.Tiny().Scaled(4), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, err := comm.NewMemMesh(3, netem.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peers[0].Close()
+	x := tensor.NewRNG(6).Normal(5, m.Cfg.F, 1)
+	want, err := m.ForwardFeatures(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const term, k, reqs = 2, 2, 2
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for r := 0; r < k; r++ {
+		st, err := ShardLayers(m, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, st *Stage) {
+			defer wg.Done()
+			errs[r] = RunStage(context.Background(), peers[r], term, st, r, k, reqs, nil)
+		}(r, st)
+	}
+	ctx := context.Background()
+	for i := 0; i < reqs; i++ {
+		if err := peers[term].Send(ctx, 0, tensor.Encode(nil, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < reqs; i++ {
+		blob, err := peers[term].Recv(ctx, k-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := tensor.Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AlmostEqual(want, 1e-3) {
+			t.Fatalf("request %d output differs", i)
+		}
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("stage %d: %v", r, err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"voltage/internal/tensor"
+)
+
+func TestQuantizeRoundtripWithinError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		m := rng.Normal(1+rng.Intn(20), 1+rng.Intn(30), 2)
+		back := Roundtrip(m)
+		bound := MaxError(m) + 1e-7
+		d, err := back.MaxAbsDiff(m)
+		if err != nil {
+			return false
+		}
+		return d <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeZeroRow(t *testing.T) {
+	m := tensor.New(2, 4)
+	m.Set(1, 0, 5)
+	q := Quantize(m)
+	if q.Scales[0] != 0 {
+		t.Fatal("zero row should have zero scale")
+	}
+	back := q.Dequantize()
+	for j := 0; j < 4; j++ {
+		if back.At(0, j) != 0 {
+			t.Fatal("zero row not preserved")
+		}
+	}
+	if math.Abs(float64(back.At(1, 0))-5) > 0.05 {
+		t.Fatalf("nonzero value off: %v", back.At(1, 0))
+	}
+}
+
+func TestQuantizePreservesExtremes(t *testing.T) {
+	m, _ := tensor.NewFromData(1, 3, []float32{-2, 0, 2})
+	back := Roundtrip(m)
+	if back.At(0, 0) != -2 || back.At(0, 2) != 2 {
+		t.Fatalf("absmax endpoints should be exact: %v", back)
+	}
+	if math.Abs(float64(back.At(0, 1))) > 1e-7 {
+		t.Fatal("zero should stay zero")
+	}
+}
+
+func TestEncodedSizeQuarter(t *testing.T) {
+	// For wide rows the quantized encoding is ≈¼ of float32.
+	rows, cols := 50, 1024
+	qSize := EncodedSize(rows, cols)
+	fSize := tensor.EncodedSize(rows, cols)
+	ratio := float64(fSize) / float64(qSize)
+	if ratio < 3.5 || ratio > 4.1 {
+		t.Fatalf("compression ratio %.2f, want ≈4", ratio)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		m := rng.Normal(1+rng.Intn(10), 1+rng.Intn(20), 1)
+		q := Quantize(m)
+		buf := Encode(nil, q)
+		if len(buf) != EncodedSize(q.Rows(), q.Cols()) {
+			return false
+		}
+		back, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if back.Rows() != q.Rows() || back.Cols() != q.Cols() {
+			return false
+		}
+		for i := range q.Data {
+			if back.Data[i] != q.Data[i] {
+				return false
+			}
+		}
+		for i := range q.Scales {
+			if back.Scales[i] != q.Scales[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{1}); err == nil {
+		t.Fatal("want error for short header")
+	}
+	q := Quantize(tensor.New(3, 3))
+	buf := Encode(nil, q)
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("want error for truncated body")
+	}
+	var hdr [8]byte
+	hdr[3] = 0x40 // enormous rows
+	hdr[7] = 0x40
+	if _, _, err := Decode(hdr[:]); err == nil {
+		t.Fatal("want error for implausible shape")
+	}
+}
+
+func TestMaxErrorScalesWithMagnitude(t *testing.T) {
+	small, _ := tensor.NewFromData(1, 2, []float32{0.1, -0.1})
+	big, _ := tensor.NewFromData(1, 2, []float32{100, -100})
+	if MaxError(big) <= MaxError(small) {
+		t.Fatal("error bound should grow with magnitude")
+	}
+}

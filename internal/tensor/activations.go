@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation identifies a position-wise non-linearity used in the
+// feed-forward network of a transformer layer.
+type Activation int
+
+// Supported activation functions. ReLU follows the original transformer
+// paper; GELU follows BERT/GPT-2.
+const (
+	ReLU Activation = iota + 1
+	GELU
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case GELU:
+		return "gelu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Apply returns the activation applied element-wise to m as a new matrix.
+func (a Activation) Apply(m *Matrix) *Matrix {
+	out := m.Clone()
+	a.ApplyInPlace(out)
+	return out
+}
+
+// ApplyInPlace applies the activation element-wise, mutating m.
+func (a Activation) ApplyInPlace(m *Matrix) {
+	switch a {
+	case GELU:
+		for i, v := range m.data {
+			m.data[i] = gelu(v)
+		}
+	default: // ReLU, also the fallback for unknown values.
+		for i, v := range m.data {
+			if v < 0 {
+				m.data[i] = 0
+			}
+		}
+	}
+}
+
+// gelu is the tanh approximation of the Gaussian Error Linear Unit used by
+// BERT and GPT-2: 0.5x(1 + tanh(√(2/π)(x + 0.044715x³))).
+func gelu(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	xf := float64(x)
+	return float32(0.5 * xf * (1 + math.Tanh(c*(xf+0.044715*xf*xf*xf))))
+}
+
+// SoftmaxRows applies a numerically stable softmax independently to each row
+// of m, returning a new matrix. It implements the softmax(QKᵀ/√FH) step of
+// self-attention.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		softmaxRow(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// SoftmaxRowsInPlace applies the row-wise softmax mutating m.
+func SoftmaxRowsInPlace(m *Matrix) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		softmaxRow(row, row)
+	}
+}
+
+func softmaxRow(dst, src []float32) {
+	if len(src) == 0 {
+		return
+	}
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		e := math.Exp(float64(v - maxv))
+		dst[j] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// LayerNorm applies layer normalization to each row of m with learned gain
+// and bias vectors, returning a new matrix:
+//
+//	y = (x - mean(x)) / sqrt(var(x) + eps) * gain + bias
+func LayerNorm(m *Matrix, gain, bias []float32, eps float32) (*Matrix, error) {
+	if len(gain) != m.cols || len(bias) != m.cols {
+		return nil, fmt.Errorf("%w: layernorm gain %d bias %d for %d cols",
+			ErrShape, len(gain), len(bias), m.cols)
+	}
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		var mean float64
+		for _, v := range src {
+			mean += float64(v)
+		}
+		mean /= float64(len(src))
+		var variance float64
+		for _, v := range src {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(len(src))
+		invStd := float32(1 / math.Sqrt(variance+float64(eps)))
+		for j, v := range src {
+			dst[j] = (v-float32(mean))*invStd*gain[j] + bias[j]
+		}
+	}
+	return out, nil
+}

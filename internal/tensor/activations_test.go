@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReLU(t *testing.T) {
+	m, _ := NewFromData(1, 4, []float32{-1, 0, 2, -0.5})
+	out := ReLU.Apply(m)
+	want, _ := NewFromData(1, 4, []float32{0, 0, 2, 0})
+	if !out.Equal(want) {
+		t.Fatalf("ReLU = %v", out)
+	}
+	if m.At(0, 0) != -1 {
+		t.Fatal("Apply mutated input")
+	}
+}
+
+func TestGELUValues(t *testing.T) {
+	// Reference values from the tanh approximation.
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{1, 0.8411920},
+		{-1, -0.1588080},
+		{3, 2.9963627},
+	}
+	for _, c := range cases {
+		got := float64(gelu(float32(c.in)))
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("gelu(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGELUMonotoneAbovePositive(t *testing.T) {
+	for x := float32(0); x < 5; x += 0.1 {
+		if gelu(x+0.1) < gelu(x) {
+			t.Fatalf("gelu not monotone at %v", x)
+		}
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if ReLU.String() != "relu" || GELU.String() != "gelu" {
+		t.Fatal("Activation String broken")
+	}
+	if Activation(99).String() != "Activation(99)" {
+		t.Fatalf("unknown activation String = %q", Activation(99).String())
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		m := rng.Normal(1+rng.Intn(20), 1+rng.Intn(20), 3)
+		s := SoftmaxRows(m)
+		for i := 0; i < s.Rows(); i++ {
+			var sum float64
+			for _, v := range s.Row(i) {
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += float64(v)
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableUnderLargeInputs(t *testing.T) {
+	m, _ := NewFromData(1, 3, []float32{1000, 1001, 1002})
+	s := SoftmaxRows(m)
+	var sum float64
+	for _, v := range s.Row(0) {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax overflowed: %v", s)
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	// Shift invariance: softmax(x) == softmax(x + c).
+	m2, _ := NewFromData(1, 3, []float32{0, 1, 2})
+	if !SoftmaxRows(m2).AlmostEqual(s, 1e-5) {
+		t.Fatal("softmax not shift invariant")
+	}
+}
+
+func TestSoftmaxRowsInPlace(t *testing.T) {
+	m, _ := NewFromData(2, 2, []float32{1, 2, 3, 3})
+	want := SoftmaxRows(m)
+	SoftmaxRowsInPlace(m)
+	if !m.Equal(want) {
+		t.Fatal("in-place softmax differs from pure version")
+	}
+}
+
+func TestSoftmaxEmptyRow(t *testing.T) {
+	m := New(0, 0)
+	s := SoftmaxRows(m)
+	if s.Rows() != 0 || s.Cols() != 0 {
+		t.Fatal("empty softmax shape")
+	}
+}
+
+func TestLayerNorm(t *testing.T) {
+	m, _ := NewFromData(1, 4, []float32{1, 2, 3, 4})
+	out, err := LayerNorm(m, Ones(4), Zeros(4), 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized rows have mean 0 and variance 1 (up to eps).
+	var mean, variance float64
+	for _, v := range out.Row(0) {
+		mean += float64(v)
+	}
+	mean /= 4
+	for _, v := range out.Row(0) {
+		variance += (float64(v) - mean) * (float64(v) - mean)
+	}
+	variance /= 4
+	if math.Abs(mean) > 1e-5 || math.Abs(variance-1) > 1e-3 {
+		t.Fatalf("layernorm mean %v var %v", mean, variance)
+	}
+}
+
+func TestLayerNormGainBias(t *testing.T) {
+	m, _ := NewFromData(1, 2, []float32{-1, 1})
+	out, err := LayerNorm(m, []float32{2, 2}, []float32{5, 5}, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x normalizes to (-1, 1); ×2 +5 → (3, 7).
+	if math.Abs(float64(out.At(0, 0))-3) > 1e-2 || math.Abs(float64(out.At(0, 1))-7) > 1e-2 {
+		t.Fatalf("layernorm affine = %v", out)
+	}
+	if _, err := LayerNorm(m, Ones(3), Zeros(2), 1e-5); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestLayerNormRowIndependence(t *testing.T) {
+	// Changing one row must not affect another row's normalization: the
+	// operation is position-wise, the property Voltage's partitioning
+	// relies on.
+	rng := NewRNG(11)
+	m := rng.Normal(4, 8, 1)
+	gain, bias := Ones(8), Zeros(8)
+	full, err := LayerNorm(m, gain, bias, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m.Clone()
+	for j := 0; j < 8; j++ {
+		m2.Set(0, j, 100)
+	}
+	out2, err := LayerNorm(m2, gain, bias, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			if full.At(i, j) != out2.At(i, j) {
+				t.Fatal("layernorm leaked across rows")
+			}
+		}
+	}
+}

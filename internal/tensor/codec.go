@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format: uint32 rows, uint32 cols, then rows*cols little-endian
+// float32 values. The encoded size is what the paper counts as
+// "communication size" (4·N·F bytes for an N×F activation).
+
+// EncodedSize returns the number of bytes Encode will produce for a
+// rows×cols matrix.
+func EncodedSize(rows, cols int) int { return 8 + 4*rows*cols }
+
+// Encode appends the wire representation of m to buf and returns the
+// extended slice.
+func Encode(buf []byte, m *Matrix) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.cols))
+	for _, v := range m.data {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// Decode parses one matrix from buf, returning the matrix and the number of
+// bytes consumed.
+func Decode(buf []byte) (*Matrix, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("tensor: decode: short header (%d bytes)", len(buf))
+	}
+	rows := int(binary.LittleEndian.Uint32(buf))
+	cols := int(binary.LittleEndian.Uint32(buf[4:]))
+	// Guard against corrupt/adversarial headers before allocating.
+	const maxElems = 1 << 28
+	if rows < 0 || cols < 0 || rows*cols > maxElems {
+		return nil, 0, fmt.Errorf("tensor: decode: implausible shape %dx%d", rows, cols)
+	}
+	need := EncodedSize(rows, cols)
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("tensor: decode: need %d bytes, have %d", need, len(buf))
+	}
+	m := New(rows, cols)
+	off := 8
+	for i := range m.data {
+		m.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return m, need, nil
+}
+
+// WriteTo encodes m to w, returning the byte count written.
+func WriteTo(w io.Writer, m *Matrix) (int64, error) {
+	buf := Encode(make([]byte, 0, EncodedSize(m.rows, m.cols)), m)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadFrom decodes one matrix from r.
+func ReadFrom(r io.Reader) (*Matrix, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tensor: read header: %w", err)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	const maxElems = 1 << 28
+	if rows < 0 || cols < 0 || rows*cols > maxElems {
+		return nil, fmt.Errorf("tensor: read: implausible shape %dx%d", rows, cols)
+	}
+	body := make([]byte, 4*rows*cols)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("tensor: read body: %w", err)
+	}
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:]))
+	}
+	return m, nil
+}

@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		m := rng.Normal(1+rng.Intn(20), 1+rng.Intn(20), 2)
+		buf := Encode(nil, m)
+		if len(buf) != EncodedSize(m.Rows(), m.Cols()) {
+			return false
+		}
+		back, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("want error on short header")
+	}
+	m := New(4, 4)
+	buf := Encode(nil, m)
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("want error on truncated body")
+	}
+}
+
+func TestDecodeImplausibleShape(t *testing.T) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	binary.LittleEndian.PutUint32(hdr[4:], 1<<30)
+	if _, _, err := Decode(hdr[:]); err == nil {
+		t.Fatal("want error on implausible shape")
+	}
+	if _, err := ReadFrom(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("want error on implausible shape via ReadFrom")
+	}
+}
+
+func TestWriteToReadFrom(t *testing.T) {
+	rng := NewRNG(5)
+	m := rng.Normal(7, 3, 1)
+	var buf bytes.Buffer
+	n, err := WriteTo(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(EncodedSize(7, 3)) {
+		t.Fatalf("WriteTo wrote %d bytes, want %d", n, EncodedSize(7, 3))
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatal("WriteTo/ReadFrom round trip mismatch")
+	}
+}
+
+func TestReadFromShortStream(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("ab")); err == nil {
+		t.Fatal("want error on short stream")
+	}
+	// Valid header but truncated body.
+	m := New(3, 3)
+	full := Encode(nil, m)
+	if _, err := ReadFrom(bytes.NewReader(full[:10])); err == nil {
+		t.Fatal("want error on truncated body stream")
+	}
+}
+
+func TestReadFromEOF(t *testing.T) {
+	_, err := ReadFrom(bytes.NewReader(nil))
+	if err == nil {
+		t.Fatal("want error on empty stream")
+	}
+	if !strings.Contains(err.Error(), io.EOF.Error()) {
+		t.Logf("error does not mention EOF (acceptable but noted): %v", err)
+	}
+}
+
+func TestEncodedSizeMatchesPaperFormula(t *testing.T) {
+	// The paper counts an N×F float32 activation as 4NF bytes on the wire;
+	// our codec adds only a fixed 8-byte header.
+	n, f := 200, 1024
+	if got := EncodedSize(n, f); got != 4*n*f+8 {
+		t.Fatalf("EncodedSize = %d, want %d", got, 4*n*f+8)
+	}
+}
+
+func TestEncodeAppendsToExisting(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	m, _ := NewFromData(1, 1, []float32{1})
+	buf := Encode(prefix, m)
+	if buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Fatal("Encode clobbered prefix")
+	}
+	back, n, err := Decode(buf[2:])
+	if err != nil || n != len(buf)-2 || back.At(0, 0) != 1 {
+		t.Fatalf("Decode after prefix: %v %d %v", back, n, err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := NewRNG(1)
+	m := rng.Normal(200, 256, 1)
+	buf := make([]byte, 0, EncodedSize(200, 256))
+	b.SetBytes(int64(EncodedSize(200, 256)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := NewRNG(1)
+	m := rng.Normal(200, 256, 1)
+	buf := Encode(nil, m)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

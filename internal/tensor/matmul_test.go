@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference ijk implementation used to validate the
+// optimized kernels.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a, _ := NewFromData(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b, _ := NewFromData(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	got, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(2, 2, []float32{58, 64, 139, 154})
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulShapeError(t *testing.T) {
+	if _, err := MatMul(New(2, 3), New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := MatMulSerial(New(2, 3), New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := MatMulT(New(2, 3), New(2, 4)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		m := 1 + rng.Intn(50)
+		k := 1 + rng.Intn(50)
+		n := 1 + rng.Intn(50)
+		a := rng.Normal(m, k, 1)
+		b := rng.Normal(k, n, 1)
+		got, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		return got.AlmostEqual(naiveMatMul(a, b), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(42)
+	a := rng.Normal(200, 64, 1)
+	b := rng.Normal(64, 96, 1)
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	par, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := MatMulSerial(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Equal(ser) {
+		t.Fatal("parallel and serial matmul disagree")
+	}
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		a := rng.Normal(m, k, 1)
+		bT := rng.Normal(n, k, 1)
+		got, err := MatMulT(a, bT)
+		if err != nil {
+			return false
+		}
+		want, err := MatMul(a, bT.T())
+		if err != nil {
+			return false
+		}
+		return got.AlmostEqual(want, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	// (AB)C == A(BC) numerically within float tolerance. This property is
+	// the foundation of the paper's computation-order rewrites.
+	rng := NewRNG(3)
+	a := rng.Normal(8, 16, 0.5)
+	b := rng.Normal(16, 12, 0.5)
+	c := rng.Normal(12, 10, 0.5)
+	left := MustMatMul(MustMatMul(a, b), c)
+	right := MustMatMul(a, MustMatMul(b, c))
+	if !left.AlmostEqual(right, 1e-3) {
+		d, _ := left.MaxAbsDiff(right)
+		t.Fatalf("associativity violated beyond tolerance: max diff %v", d)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	if workerCount() != 3 {
+		t.Fatalf("workerCount = %d, want 3", workerCount())
+	}
+	SetWorkers(0) // resets to GOMAXPROCS
+	if workerCount() < 1 {
+		t.Fatal("workerCount < 1 after reset")
+	}
+	SetWorkers(prev)
+}
+
+func TestMustMatMulPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMatMul did not panic on shape mismatch")
+		}
+	}()
+	MustMatMul(New(2, 3), New(2, 3))
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := NewRNG(1)
+	x := rng.Normal(128, 128, 1)
+	y := rng.Normal(128, 128, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulSerial128(b *testing.B) {
+	rng := NewRNG(1)
+	x := rng.Normal(128, 128, 1)
+	y := rng.Normal(128, 128, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMulSerial(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import "fmt"
+
+// Add returns a + b element-wise.
+func Add(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: add %dx%d + %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out, nil
+}
+
+// AddInPlace computes a += b element-wise, mutating a.
+func AddInPlace(a, b *Matrix) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return fmt.Errorf("%w: add %dx%d + %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	for i, v := range b.data {
+		a.data[i] += v
+	}
+	return nil
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: sub %dx%d - %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns m * alpha as a new matrix.
+func Scale(m *Matrix, alpha float32) *Matrix {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v * alpha
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of m by alpha.
+func ScaleInPlace(m *Matrix, alpha float32) {
+	for i := range m.data {
+		m.data[i] *= alpha
+	}
+}
+
+// AddBias adds the 1×cols bias row vector to every row of m, returning a new
+// matrix.
+func AddBias(m *Matrix, bias []float32) (*Matrix, error) {
+	if len(bias) != m.cols {
+		return nil, fmt.Errorf("%w: bias length %d for %d cols", ErrShape, len(bias), m.cols)
+	}
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = v + bias[j]
+		}
+	}
+	return out, nil
+}
+
+// AddBiasInPlace adds the bias row vector to every row of m in place.
+func AddBiasInPlace(m *Matrix, bias []float32) error {
+	if len(bias) != m.cols {
+		return fmt.Errorf("%w: bias length %d for %d cols", ErrShape, len(bias), m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+	return nil
+}
+
+// ConcatCols concatenates matrices with equal row counts side by side. It is
+// used to merge per-head attention outputs: Concat(A1, ..., AH).
+func ConcatCols(ms ...*Matrix) (*Matrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: concat of zero matrices", ErrShape)
+	}
+	rows := ms[0].rows
+	total := 0
+	for _, m := range ms {
+		if m.rows != rows {
+			return nil, fmt.Errorf("%w: concat rows %d vs %d", ErrShape, m.rows, rows)
+		}
+		total += m.cols
+	}
+	out := New(rows, total)
+	for i := 0; i < rows; i++ {
+		dst := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(dst[off:off+m.cols], m.Row(i))
+			off += m.cols
+		}
+	}
+	return out, nil
+}
+
+// ConcatRows stacks matrices with equal column counts vertically. It is used
+// to assemble output partitions from different devices into the full layer
+// output.
+func ConcatRows(ms ...*Matrix) (*Matrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: concat of zero matrices", ErrShape)
+	}
+	cols := ms[0].cols
+	total := 0
+	for _, m := range ms {
+		if m.cols != cols {
+			return nil, fmt.Errorf("%w: concat cols %d vs %d", ErrShape, m.cols, cols)
+		}
+		total += m.rows
+	}
+	out := New(total, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.data[off:], m.data)
+		off += len(m.data)
+	}
+	return out, nil
+}
+
+// ColSlice returns a deep copy of columns [from, to). Tensor parallelism
+// uses it to split weight matrices head-wise.
+func (m *Matrix) ColSlice(from, to int) (*Matrix, error) {
+	if from < 0 || to > m.cols || from > to {
+		return nil, fmt.Errorf("%w: col slice [%d,%d) of %d cols", ErrShape, from, to, m.cols)
+	}
+	out := New(m.rows, to-from)
+	for i := 0; i < m.rows; i++ {
+		copy(out.Row(i), m.Row(i)[from:to])
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a, _ := NewFromData(2, 2, []float32{1, 2, 3, 4})
+	b, _ := NewFromData(2, 2, []float32{10, 20, 30, 40})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(2, 2, []float32{11, 22, 33, 44})
+	if !sum.Equal(want) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := Sub(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(a) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	if _, err := Add(a, New(1, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := Sub(a, New(1, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a, _ := NewFromData(1, 2, []float32{1, 2})
+	b, _ := NewFromData(1, 2, []float32{5, 6})
+	if err := AddInPlace(a, b); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(1, 2, []float32{6, 8})
+	if !a.Equal(want) {
+		t.Fatalf("AddInPlace = %v", a)
+	}
+	if err := AddInPlace(a, New(2, 1)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a, _ := NewFromData(1, 3, []float32{1, -2, 3})
+	s := Scale(a, 2)
+	want, _ := NewFromData(1, 3, []float32{2, -4, 6})
+	if !s.Equal(want) {
+		t.Fatalf("Scale = %v", s)
+	}
+	ScaleInPlace(a, -1)
+	want2, _ := NewFromData(1, 3, []float32{-1, 2, -3})
+	if !a.Equal(want2) {
+		t.Fatalf("ScaleInPlace = %v", a)
+	}
+}
+
+func TestAddBias(t *testing.T) {
+	a, _ := NewFromData(2, 2, []float32{1, 2, 3, 4})
+	out, err := AddBias(a, []float32{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(2, 2, []float32{11, 22, 13, 24})
+	if !out.Equal(want) {
+		t.Fatalf("AddBias = %v", out)
+	}
+	if err := AddBiasInPlace(a, []float32{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(want) {
+		t.Fatalf("AddBiasInPlace = %v", a)
+	}
+	if _, err := AddBias(a, []float32{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if err := AddBiasInPlace(a, []float32{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestConcatCols(t *testing.T) {
+	a, _ := NewFromData(2, 1, []float32{1, 2})
+	b, _ := NewFromData(2, 2, []float32{3, 4, 5, 6})
+	out, err := ConcatCols(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(2, 3, []float32{1, 3, 4, 2, 5, 6})
+	if !out.Equal(want) {
+		t.Fatalf("ConcatCols = %v", out)
+	}
+	if _, err := ConcatCols(a, New(3, 1)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := ConcatCols(); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape on empty, got %v", err)
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a, _ := NewFromData(1, 2, []float32{1, 2})
+	b, _ := NewFromData(2, 2, []float32{3, 4, 5, 6})
+	out, err := ConcatRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	if !out.Equal(want) {
+		t.Fatalf("ConcatRows = %v", out)
+	}
+	if _, err := ConcatRows(a, New(1, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := ConcatRows(); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape on empty, got %v", err)
+	}
+}
+
+func TestConcatRowsInverseOfRowSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		rows := 2 + rng.Intn(30)
+		cols := 1 + rng.Intn(10)
+		m := rng.Normal(rows, cols, 1)
+		cut := 1 + rng.Intn(rows-1)
+		top, err := m.RowSlice(0, cut)
+		if err != nil {
+			return false
+		}
+		bottom, err := m.RowSlice(cut, rows)
+		if err != nil {
+			return false
+		}
+		rebuilt, err := ConcatRows(top, bottom)
+		if err != nil {
+			return false
+		}
+		return rebuilt.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColSlice(t *testing.T) {
+	m, _ := NewFromData(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	s, err := m.ColSlice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(2, 2, []float32{2, 3, 5, 6})
+	if !s.Equal(want) {
+		t.Fatalf("ColSlice = %v", s)
+	}
+	if _, err := m.ColSlice(2, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	// ColSlices concatenated must reproduce the original.
+	left, _ := m.ColSlice(0, 1)
+	right, _ := m.ColSlice(1, 3)
+	back, err := ConcatCols(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatal("ColSlice/ConcatCols not inverse")
+	}
+}

@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(99).Normal(10, 10, 1)
+	b := NewRNG(99).Normal(10, 10, 1)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := NewRNG(100).Normal(10, 10, 1)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(7)
+	m := rng.Normal(200, 200, 2)
+	var sum, sumsq float64
+	for _, v := range m.Data() {
+		sum += float64(v)
+		sumsq += float64(v) * float64(v)
+	}
+	n := float64(m.Size())
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("std = %v, want ~2", std)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRNG(7)
+	m := rng.Uniform(50, 50, -0.5, 0.5)
+	for _, v := range m.Data() {
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("uniform value %v outside [-0.5, 0.5)", v)
+		}
+	}
+}
+
+func TestXavierNormalStd(t *testing.T) {
+	rng := NewRNG(13)
+	rows, cols := 300, 100
+	m := rng.XavierNormal(rows, cols)
+	var sumsq float64
+	for _, v := range m.Data() {
+		sumsq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumsq / float64(m.Size()))
+	want := math.Sqrt(2 / float64(rows+cols))
+	if math.Abs(std-want)/want > 0.1 {
+		t.Fatalf("xavier std = %v, want ~%v", std, want)
+	}
+}
+
+func TestOnesZeros(t *testing.T) {
+	o := Ones(4)
+	z := Zeros(4)
+	for i := range o {
+		if o[i] != 1 || z[i] != 0 {
+			t.Fatal("Ones/Zeros broken")
+		}
+	}
+}
+
+func TestNormalVec(t *testing.T) {
+	v := NewRNG(1).NormalVec(16, 0.02)
+	if len(v) != 16 {
+		t.Fatalf("len = %d", len(v))
+	}
+	w := NewRNG(1).NormalVec(16, 0.02)
+	for i := range v {
+		if v[i] != w[i] {
+			t.Fatal("NormalVec not deterministic")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package tokenizer provides the lightweight text front-end for the text
+// models: a deterministic word-level tokenizer with a hashing vocabulary.
+//
+// The paper's evaluation feeds BERT and GPT-2 "a random string with 200
+// words"; inference latency depends only on the token count, never on
+// which ids appear, so a hashing tokenizer preserves every measured
+// quantity while avoiding a shipped vocabulary file.
+package tokenizer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Special token ids, reserved below the hash range.
+const (
+	// PadID pads batches (unused at batch size 1 but reserved).
+	PadID = 0
+	// UnknownID is returned for empty words (never produced by Split).
+	UnknownID = 1
+	// ClsID starts every encoded sequence (BERT-style classification).
+	ClsID = 2
+	// SepID ends every encoded sequence.
+	SepID = 3
+
+	numSpecial = 4
+)
+
+// Tokenizer hashes words into a fixed-size vocabulary.
+type Tokenizer struct {
+	vocabSize int
+}
+
+// New returns a tokenizer for a model with the given vocabulary size.
+func New(vocabSize int) (*Tokenizer, error) {
+	if vocabSize <= numSpecial {
+		return nil, fmt.Errorf("tokenizer: vocab size %d too small", vocabSize)
+	}
+	return &Tokenizer{vocabSize: vocabSize}, nil
+}
+
+// VocabSize returns the vocabulary size.
+func (t *Tokenizer) VocabSize() int { return t.vocabSize }
+
+// WordID maps one word deterministically into [numSpecial, vocabSize).
+func (t *Tokenizer) WordID(word string) int {
+	if word == "" {
+		return UnknownID
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(strings.ToLower(word)))
+	return numSpecial + int(h.Sum32()%uint32(t.vocabSize-numSpecial))
+}
+
+// Encode splits text on whitespace and maps each word to a token id,
+// wrapping the sequence in [CLS] … [SEP].
+func (t *Tokenizer) Encode(text string) []int {
+	words := strings.Fields(text)
+	ids := make([]int, 0, len(words)+2)
+	ids = append(ids, ClsID)
+	for _, w := range words {
+		ids = append(ids, t.WordID(w))
+	}
+	return append(ids, SepID)
+}
+
+// EncodeWords maps exactly n synthetic words (the paper's random-string
+// workload) into a token sequence of length n+2, deterministically from
+// the seed.
+func (t *Tokenizer) EncodeWords(n int, seed int64) []int {
+	ids := make([]int, 0, n+2)
+	ids = append(ids, ClsID)
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		ids = append(ids, numSpecial+int((state>>33)%uint64(t.vocabSize-numSpecial)))
+	}
+	return append(ids, SepID)
+}

@@ -1,0 +1,90 @@
+package tokenizer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Fatal("want error for tiny vocab")
+	}
+	tok, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VocabSize() != 100 {
+		t.Fatal("VocabSize")
+	}
+}
+
+func TestEncodeStructure(t *testing.T) {
+	tok, _ := New(1000)
+	ids := tok.Encode("hello edge world")
+	if len(ids) != 5 {
+		t.Fatalf("len = %d, want 5", len(ids))
+	}
+	if ids[0] != ClsID || ids[len(ids)-1] != SepID {
+		t.Fatalf("missing CLS/SEP: %v", ids)
+	}
+	for _, id := range ids {
+		if id < 0 || id >= 1000 {
+			t.Fatalf("id %d outside vocab", id)
+		}
+	}
+}
+
+func TestEncodeDeterministicCaseInsensitive(t *testing.T) {
+	tok, _ := New(1000)
+	a := tok.Encode("Hello World")
+	b := tok.Encode("hello world")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tokenizer case sensitive")
+		}
+	}
+}
+
+func TestWordIDRange(t *testing.T) {
+	tok, _ := New(50)
+	f := func(word string) bool {
+		id := tok.WordID(word)
+		return id >= UnknownID && id < 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if tok.WordID("") != UnknownID {
+		t.Fatal("empty word should map to UnknownID")
+	}
+}
+
+func TestEncodeWords(t *testing.T) {
+	tok, _ := New(30522)
+	ids := tok.EncodeWords(200, 7)
+	if len(ids) != 202 {
+		t.Fatalf("len = %d, want 202", len(ids))
+	}
+	again := tok.EncodeWords(200, 7)
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatal("EncodeWords not deterministic")
+		}
+	}
+	other := tok.EncodeWords(200, 8)
+	same := true
+	for i := range ids {
+		if ids[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	for _, id := range ids {
+		if id < 0 || id >= 30522 {
+			t.Fatalf("id %d outside vocab", id)
+		}
+	}
+}

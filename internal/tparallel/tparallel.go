@@ -1,0 +1,257 @@
+// Package tparallel implements the tensor-parallelism baseline the paper
+// compares against (Megatron-LM style, as used by DeepSpeed-Inference and
+// Parallelformers):
+//
+//   - the attention heads are partitioned across devices; each device
+//     computes its heads over the FULL sequence and the partial outputs are
+//     merged with an All-Reduce;
+//   - the feed-forward network's first weight matrix is column-split and
+//     the second row-split, requiring a second All-Reduce.
+//
+// Per device per layer this moves 4(K−1)NF/K bytes with ring All-Reduce —
+// 4× Voltage's single All-Gather — which is exactly the communication gap
+// the paper's Figs. 4–5 demonstrate.
+package tparallel
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"voltage/internal/attention"
+	"voltage/internal/comm"
+	"voltage/internal/flopcount"
+	"voltage/internal/model"
+	"voltage/internal/tensor"
+)
+
+// ShardedLayer is one device's shard of a transformer layer plus the
+// replicated (non-sharded) parameters.
+type ShardedLayer struct {
+	rank, k int
+
+	heads []*attention.HeadWeights // this device's heads (may be empty)
+	wo    *tensor.Matrix           // row-slice of WO for those heads
+	bo    []float32                // full output bias (added after reduce)
+
+	w1 *tensor.Matrix // column-slice of W1
+	b1 []float32      // matching slice of B1
+	w2 *tensor.Matrix // row-slice of W2
+	b2 []float32      // full second bias (added after reduce)
+
+	ln1Gain, ln1Bias []float32
+	ln2Gain, ln2Bias []float32
+
+	act    tensor.Activation
+	eps    float32
+	causal bool
+	fdim   int
+
+	// Pace, when non-nil, is invoked after each local compute phase with
+	// the phase's start time and analytic Γ; the cluster runtime uses it
+	// to emulate a fixed device speed. It must return promptly once the
+	// emulated duration has elapsed.
+	Pace func(ctx context.Context, start time.Time, flops int64) error
+	// OnComm, when non-nil, is told how long each All-Reduce blocked.
+	OnComm func(d time.Duration)
+}
+
+// ShardLayer extracts device `rank`'s shard of layer l in a group of k
+// devices. Heads and FFN columns are split into contiguous near-even
+// blocks; devices beyond the head count receive empty attention shards.
+func ShardLayer(l *model.Layer, rank, k int) (*ShardedLayer, error) {
+	if k < 1 || rank < 0 || rank >= k {
+		return nil, fmt.Errorf("tparallel: rank %d of %d", rank, k)
+	}
+	h := l.Attn.H()
+	fh := l.Attn.FH()
+	hLo, hHi := blockBounds(h, k, rank)
+	wo, err := l.Attn.WO.RowSlice(hLo*fh, hHi*fh)
+	if err != nil {
+		return nil, fmt.Errorf("tparallel: slice WO: %w", err)
+	}
+	dff := l.W1.Cols()
+	fLo, fHi := blockBounds(dff, k, rank)
+	w1, err := l.W1.ColSlice(fLo, fHi)
+	if err != nil {
+		return nil, fmt.Errorf("tparallel: slice W1: %w", err)
+	}
+	w2, err := l.W2.RowSlice(fLo, fHi)
+	if err != nil {
+		return nil, fmt.Errorf("tparallel: slice W2: %w", err)
+	}
+	return &ShardedLayer{
+		rank: rank, k: k,
+		heads:   l.Attn.Heads[hLo:hHi],
+		wo:      wo,
+		bo:      l.Attn.BO,
+		w1:      w1,
+		b1:      l.B1[fLo:fHi],
+		w2:      w2,
+		b2:      l.B2,
+		ln1Gain: l.LN1Gain, ln1Bias: l.LN1Bias,
+		ln2Gain: l.LN2Gain, ln2Bias: l.LN2Bias,
+		act:    l.Act,
+		eps:    l.Eps,
+		causal: l.Causal,
+		fdim:   l.F(),
+	}, nil
+}
+
+// blockBounds returns the [lo, hi) block of n items assigned to rank r of k
+// (contiguous, near-even).
+func blockBounds(n, k, r int) (int, int) {
+	return r * n / k, (r + 1) * n / k
+}
+
+// PartialAttention computes this device's attention contribution over the
+// full sequence: Concat(assigned heads)(x) · WO-slice. Summing the partials
+// of all devices yields the complete multi-head attention output (before
+// bias).
+func (s *ShardedLayer) PartialAttention(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if len(s.heads) == 0 {
+		return tensor.New(x.Rows(), s.fdim), nil
+	}
+	outs := make([]*tensor.Matrix, len(s.heads))
+	for i, h := range s.heads {
+		o, err := attention.ComputeWithOptions(h, x, x, attention.Options{
+			Order: flopcount.OrderNaive, Causal: s.causal,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tparallel: head %d: %w", i, err)
+		}
+		outs[i] = o
+	}
+	cat, err := tensor.ConcatCols(outs...)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.MatMul(cat, s.wo)
+}
+
+// PartialFFN computes this device's feed-forward contribution:
+// Act(x·W1-slice + b1-slice)·W2-slice. Summing across devices yields the
+// complete FFN output (before the second bias).
+func (s *ShardedLayer) PartialFFN(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if s.w1.Cols() == 0 {
+		return tensor.New(x.Rows(), s.fdim), nil
+	}
+	h, err := tensor.MatMul(x, s.w1)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasInPlace(h, s.b1); err != nil {
+		return nil, err
+	}
+	s.act.ApplyInPlace(h)
+	return tensor.MatMul(h, s.w2)
+}
+
+// Forward runs one tensor-parallel layer step on this device: partial
+// attention → All-Reduce → bias/residual/LN (replicated) → partial FFN →
+// All-Reduce → bias/residual/LN (replicated). Every device returns the
+// identical full layer output.
+//
+// ring selects ring vs naive All-Reduce; the paper's communication figures
+// assume ring.
+func (s *ShardedLayer) Forward(ctx context.Context, p comm.Peer, x *tensor.Matrix, ring bool) (*tensor.Matrix, error) {
+	reduce := comm.AllReduceSum
+	if ring {
+		reduce = comm.RingAllReduceSum
+	}
+
+	start := time.Now()
+	partial, err := s.PartialAttention(x)
+	if err != nil {
+		return nil, err
+	}
+	if s.Pace != nil {
+		if err := s.Pace(ctx, start, s.attnCost(x.Rows())); err != nil {
+			return nil, err
+		}
+	}
+	commStart := time.Now()
+	attnOut, err := reduce(ctx, p, partial)
+	if err != nil {
+		return nil, fmt.Errorf("tparallel: attention allreduce: %w", err)
+	}
+	if s.OnComm != nil {
+		s.OnComm(time.Since(commStart))
+	}
+	if err := tensor.AddBiasInPlace(attnOut, s.bo); err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(attnOut, x); err != nil {
+		return nil, err
+	}
+	y, err := tensor.LayerNorm(attnOut, s.ln1Gain, s.ln1Bias, s.eps)
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	fPartial, err := s.PartialFFN(y)
+	if err != nil {
+		return nil, err
+	}
+	if s.Pace != nil {
+		if err := s.Pace(ctx, start, s.ffnCost(x.Rows())); err != nil {
+			return nil, err
+		}
+	}
+	commStart = time.Now()
+	ffnOut, err := reduce(ctx, p, fPartial)
+	if err != nil {
+		return nil, fmt.Errorf("tparallel: ffn allreduce: %w", err)
+	}
+	if s.OnComm != nil {
+		s.OnComm(time.Since(commStart))
+	}
+	if err := tensor.AddBiasInPlace(ffnOut, s.b2); err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(ffnOut, y); err != nil {
+		return nil, err
+	}
+	return tensor.LayerNorm(ffnOut, s.ln2Gain, s.ln2Bias, s.eps)
+}
+
+// attnCost is the analytic Γ of PartialAttention for input length n: this
+// device's heads over the full sequence (naive order, as computed) plus
+// its WO row-slice product.
+func (s *ShardedLayer) attnCost(n int) int64 {
+	if len(s.heads) == 0 {
+		return 0
+	}
+	shape := flopcount.Shape{N: n, P: n, F: s.fdim, FH: s.heads[0].FH()}
+	headCost := flopcount.MustCost(shape, flopcount.OrderNaive)
+	proj := int64(n) * int64(s.wo.Rows()) * int64(s.fdim)
+	return int64(len(s.heads))*headCost + proj
+}
+
+// ffnCost is the analytic Γ of PartialFFN for input length n plus the
+// replicated residual/layer-norm work.
+func (s *ShardedLayer) ffnCost(n int) int64 {
+	nn, f := int64(n), int64(s.fdim)
+	ffn := nn*f*int64(s.w1.Cols()) + nn*int64(s.w2.Rows())*f
+	return ffn + 4*nn*f
+}
+
+// Cost returns the analytic Γ of one Forward call's local math for input
+// length n. Used by the cluster's device pacing.
+func (s *ShardedLayer) Cost(n int) int64 {
+	return s.attnCost(n) + s.ffnCost(n)
+}
+
+// ShardModel shards every layer of m for device `rank` of k.
+func ShardModel(m *model.Model, rank, k int) ([]*ShardedLayer, error) {
+	shards := make([]*ShardedLayer, len(m.Layers))
+	for i, l := range m.Layers {
+		s, err := ShardLayer(l, rank, k)
+		if err != nil {
+			return nil, fmt.Errorf("tparallel: layer %d: %w", i, err)
+		}
+		shards[i] = s
+	}
+	return shards, nil
+}

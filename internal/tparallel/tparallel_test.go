@@ -1,0 +1,367 @@
+package tparallel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"voltage/internal/comm"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+	"voltage/internal/tensor"
+)
+
+func tinyLayer(t testing.TB, cfg model.Config, seed int64) *model.Layer {
+	t.Helper()
+	l, err := model.NewRandomLayer(cfg, tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestShardLayerValidation(t *testing.T) {
+	l := tinyLayer(t, model.Tiny(), 1)
+	if _, err := ShardLayer(l, 2, 2); err == nil {
+		t.Fatal("want error for rank == k")
+	}
+	if _, err := ShardLayer(l, -1, 2); err == nil {
+		t.Fatal("want error for negative rank")
+	}
+	if _, err := ShardLayer(l, 0, 0); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	// 10 items over 3 ranks: 3/3/4 or similar near-even contiguous split
+	// covering everything.
+	total := 0
+	prevHi := 0
+	for r := 0; r < 3; r++ {
+		lo, hi := blockBounds(10, 3, r)
+		if lo != prevHi {
+			t.Fatalf("gap at rank %d: lo %d, prev hi %d", r, lo, prevHi)
+		}
+		total += hi - lo
+		prevHi = hi
+	}
+	if total != 10 || prevHi != 10 {
+		t.Fatalf("blocks cover %d, end %d", total, prevHi)
+	}
+}
+
+func TestPartialsSumToFullLayer(t *testing.T) {
+	// Summing every device's partial attention (plus bias) must equal the
+	// unsharded multi-head output; same for the FFN. This is the algebraic
+	// foundation of tensor parallelism.
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			l := tinyLayer(t, model.Tiny(), 7)
+			rng := tensor.NewRNG(8)
+			x := rng.Normal(10, l.F(), 1)
+
+			full, err := l.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Reconstruct the layer step by step from partials.
+			attnSum := tensor.New(10, l.F())
+			for r := 0; r < k; r++ {
+				s, err := ShardLayer(l, r, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := s.PartialAttention(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tensor.AddInPlace(attnSum, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tensor.AddBiasInPlace(attnSum, l.Attn.BO); err != nil {
+				t.Fatal(err)
+			}
+			if err := tensor.AddInPlace(attnSum, x); err != nil {
+				t.Fatal(err)
+			}
+			y, err := tensor.LayerNorm(attnSum, l.LN1Gain, l.LN1Bias, l.Eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffnSum := tensor.New(10, l.F())
+			for r := 0; r < k; r++ {
+				s, err := ShardLayer(l, r, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := s.PartialFFN(y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tensor.AddInPlace(ffnSum, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tensor.AddBiasInPlace(ffnSum, l.B2); err != nil {
+				t.Fatal(err)
+			}
+			if err := tensor.AddInPlace(ffnSum, y); err != nil {
+				t.Fatal(err)
+			}
+			got, err := tensor.LayerNorm(ffnSum, l.LN2Gain, l.LN2Bias, l.Eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.AlmostEqual(full, 1e-2) {
+				d, _ := got.MaxAbsDiff(full)
+				t.Fatalf("reassembled TP layer differs from full by %v", d)
+			}
+		})
+	}
+}
+
+func TestForwardDistributedMatchesFullLayer(t *testing.T) {
+	for _, ring := range []bool{false, true} {
+		for _, k := range []int{2, 3} {
+			t.Run(fmt.Sprintf("ring=%v/k=%d", ring, k), func(t *testing.T) {
+				l := tinyLayer(t, model.Tiny(), 11)
+				rng := tensor.NewRNG(12)
+				x := rng.Normal(9, l.F(), 1)
+				full, err := l.Forward(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				peers, err := comm.NewMemMesh(k, netem.Unlimited)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer peers[0].Close()
+				var wg sync.WaitGroup
+				outs := make([]*tensor.Matrix, k)
+				errs := make([]error, k)
+				for r := 0; r < k; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						s, err := ShardLayer(l, r, k)
+						if err != nil {
+							errs[r] = err
+							return
+						}
+						outs[r], errs[r] = s.Forward(context.Background(), peers[r], x, ring)
+					}(r)
+				}
+				wg.Wait()
+				for r := 0; r < k; r++ {
+					if errs[r] != nil {
+						t.Fatalf("rank %d: %v", r, errs[r])
+					}
+					if !outs[r].AlmostEqual(full, 1e-2) {
+						d, _ := outs[r].MaxAbsDiff(full)
+						t.Fatalf("rank %d TP output differs from full by %v", r, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestCausalShardedLayer(t *testing.T) {
+	l := tinyLayer(t, model.TinyDecoder(), 21)
+	rng := tensor.NewRNG(22)
+	x := rng.Normal(8, l.F(), 1)
+	full, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, err := comm.NewMemMesh(2, netem.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peers[0].Close()
+	var wg sync.WaitGroup
+	outs := make([]*tensor.Matrix, 2)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s, err := ShardLayer(l, r, 2)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			outs[r], errs[r] = s.Forward(context.Background(), peers[r], x, true)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if errs[r] != nil {
+			t.Fatal(errs[r])
+		}
+		if !outs[r].AlmostEqual(full, 1e-2) {
+			t.Fatalf("rank %d causal TP output differs", r)
+		}
+	}
+}
+
+func TestMoreDevicesThanHeads(t *testing.T) {
+	// Tiny has 4 heads; with k=6 two devices get no heads but must still
+	// participate correctly.
+	l := tinyLayer(t, model.Tiny(), 31)
+	rng := tensor.NewRNG(32)
+	x := rng.Normal(6, l.F(), 1)
+	full, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 6
+	peers, err := comm.NewMemMesh(k, netem.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peers[0].Close()
+	var wg sync.WaitGroup
+	outs := make([]*tensor.Matrix, k)
+	errs := make([]error, k)
+	emptyShards := 0
+	for r := 0; r < k; r++ {
+		s, err := ShardLayer(l, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.heads) == 0 {
+			emptyShards++
+		}
+		wg.Add(1)
+		go func(r int, s *ShardedLayer) {
+			defer wg.Done()
+			outs[r], errs[r] = s.Forward(context.Background(), peers[r], x, true)
+		}(r, s)
+	}
+	wg.Wait()
+	if emptyShards == 0 {
+		t.Fatal("expected some empty attention shards with k > H")
+	}
+	for r := 0; r < k; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if !outs[r].AlmostEqual(full, 1e-2) {
+			t.Fatalf("rank %d output differs", r)
+		}
+	}
+}
+
+func TestShardModel(t *testing.T) {
+	m, err := model.NewRandom(model.Tiny(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ShardModel(m, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != m.Cfg.Layers {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	if _, err := ShardModel(m, 9, 3); err == nil {
+		t.Fatal("want error for bad rank")
+	}
+}
+
+func TestTPCommVolumeIs4xVoltage(t *testing.T) {
+	// The headline claim: per device per layer, tensor parallelism moves
+	// 4(K−1)NF/K bytes (two ring All-Reduces) vs Voltage's (K−1)NF/K
+	// (one All-Gather of row partitions).
+	k, n := 4, 16
+	l := tinyLayer(t, model.Tiny(), 51)
+	f := l.F()
+	x := tensor.NewRNG(52).Normal(n, f, 1)
+
+	peers, err := comm.NewMemMesh(k, netem.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peers[0].Close()
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s, err := ShardLayer(l, r, k)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			_, errs[r] = s.Forward(context.Background(), peers[r], x, true)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTP := int64(4 * 4 * (k - 1) * n * f / k) // bytes: 4 B/elem × 4(K−1)NF/K elems
+	for _, p := range peers {
+		if got := p.Stats().BytesSent; got != wantTP {
+			t.Fatalf("rank %d TP sent %d bytes, want %d", p.Rank(), got, wantTP)
+		}
+	}
+}
+
+func TestShardCostsSumToWholeLayer(t *testing.T) {
+	// Sharded analytic costs must partition the full TP layer cost: the
+	// per-device Cost values over all ranks sum to the cost of one device
+	// holding everything (up to the replicated layer-norm/residual term).
+	l := tinyLayer(t, model.Tiny(), 61)
+	const n, k = 24, 4
+	soloShard, err := ShardLayer(l, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := soloShard.Cost(n)
+	var sum int64
+	for r := 0; r < k; r++ {
+		s, err := ShardLayer(l, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.Cost(n)
+		if c < 0 {
+			t.Fatalf("negative cost at rank %d", r)
+		}
+		sum += c
+	}
+	replicated := int64(4 * n * l.F()) // layer norms + residuals, per device
+	want := solo + int64(k-1)*replicated
+	if sum != want {
+		t.Fatalf("shard costs sum to %d, want %d", sum, want)
+	}
+}
+
+func TestEmptyShardCostZeroAttention(t *testing.T) {
+	// With k > H some shards have no heads: their attention cost must be
+	// zero but the FFN slice still counts.
+	l := tinyLayer(t, model.Tiny(), 62) // 4 heads over 6 devices
+	// blockBounds(4, 6, 3) = [2, 2): rank 3 holds no heads.
+	s, err := ShardLayer(l, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.heads) != 0 {
+		t.Fatalf("rank 3 of 6 should hold no heads, has %d", len(s.heads))
+	}
+	if got := s.attnCost(16); got != 0 {
+		t.Fatalf("empty shard attention cost %d", got)
+	}
+	if s.Cost(16) <= 0 {
+		t.Fatal("empty-head shard should still have FFN cost")
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}
+
+func TestAddAndSnapshot(t *testing.T) {
+	r, err := NewRecorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(0, PhaseCompute, 10*time.Millisecond)
+	r.Add(0, PhaseCompute, 5*time.Millisecond)
+	r.Add(0, PhaseComm, 3*time.Millisecond)
+	r.Add(1, PhaseBoundary, 7*time.Millisecond)
+	rep := r.Snapshot()
+	if rep.Devices[0].Compute != 15*time.Millisecond {
+		t.Fatalf("compute %v", rep.Devices[0].Compute)
+	}
+	if rep.Devices[0].Comm != 3*time.Millisecond {
+		t.Fatalf("comm %v", rep.Devices[0].Comm)
+	}
+	if rep.Devices[1].Boundary != 7*time.Millisecond {
+		t.Fatalf("boundary %v", rep.Devices[1].Boundary)
+	}
+	if rep.Devices[0].Total() != 18*time.Millisecond {
+		t.Fatalf("total %v", rep.Devices[0].Total())
+	}
+}
+
+func TestAddIgnoresBadInput(t *testing.T) {
+	r, _ := NewRecorder(1)
+	r.Add(-1, PhaseCompute, time.Second)
+	r.Add(5, PhaseCompute, time.Second)
+	r.Add(0, PhaseCompute, -time.Second)
+	var nilRec *Recorder
+	nilRec.Add(0, PhaseCompute, time.Second) // must not panic
+	if r.Snapshot().Devices[0].Compute != 0 {
+		t.Fatal("bad input recorded")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r, _ := NewRecorder(1)
+	r.Add(0, PhaseCompute, time.Second)
+	r.Reset()
+	if r.Snapshot().Devices[0].Compute != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCommFraction(t *testing.T) {
+	d := DeviceBreakdown{Compute: 3 * time.Second, Comm: time.Second}
+	if got := d.CommFraction(); got != 0.25 {
+		t.Fatalf("CommFraction = %v", got)
+	}
+	if (DeviceBreakdown{}).CommFraction() != 0 {
+		t.Fatal("empty CommFraction")
+	}
+}
+
+func TestMaxDeviceAndMean(t *testing.T) {
+	rep := Report{Devices: []DeviceBreakdown{
+		{Rank: 0, Compute: time.Second},
+		{Rank: 1, Compute: 3 * time.Second, Comm: time.Second},
+	}}
+	if got := rep.MaxDevice(); got.Rank != 1 {
+		t.Fatalf("MaxDevice rank %d", got.Rank)
+	}
+	mean := rep.Mean()
+	if mean.Compute != 2*time.Second || mean.Comm != 500*time.Millisecond {
+		t.Fatalf("Mean %+v", mean)
+	}
+	if (Report{}).Mean().Compute != 0 {
+		t.Fatal("empty Mean")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r, _ := NewRecorder(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.Add(i%4, PhaseComm, time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	var total time.Duration
+	for _, d := range r.Snapshot().Devices {
+		total += d.Comm
+	}
+	if total != 100*time.Millisecond {
+		t.Fatalf("concurrent total %v", total)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseCompute.String() != "compute" || PhaseComm.String() != "comm" || PhaseBoundary.String() != "boundary" {
+		t.Fatal("phase names")
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Fatal("unknown phase")
+	}
+}

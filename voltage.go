@@ -1,0 +1,139 @@
+// Package voltage is the public API of this repository: a from-scratch Go
+// implementation of Voltage, the cross-device distributed inference system
+// for transformer models from "When the Edge Meets Transformers:
+// Distributed Inference with Transformer Models" (ICDCS 2024).
+//
+// Voltage partitions each transformer layer position-wise across K edge
+// devices: every device computes the layer output for a slice of sequence
+// positions, re-ordering the self-attention matrix products per Theorem 2
+// so the per-device work is O(1/K), and a single All-Gather per layer
+// re-assembles the activations — ¼ of tensor parallelism's communication.
+//
+// # Quick start
+//
+//	engine, err := voltage.NewEngine(voltage.Tiny(), 3, voltage.ClusterOptions{
+//		Profile: voltage.EdgeDefaultProfile,
+//	})
+//	if err != nil { ... }
+//	defer engine.Close()
+//	pred, err := engine.ClassifyTokens(ctx, voltage.StrategyVoltage, tokens)
+//
+// The facade re-exports the stable surface of the internal packages; the
+// examples/ directory shows complete programs for text classification,
+// image classification, autoregressive generation and bandwidth studies.
+package voltage
+
+import (
+	"voltage/internal/cluster"
+	"voltage/internal/core"
+	"voltage/internal/costmodel"
+	"voltage/internal/flopcount"
+	"voltage/internal/harness"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Engine is an end-to-end distributed inference deployment.
+	Engine = core.Engine
+	// Prediction is a classification result with its run report.
+	Prediction = core.Prediction
+	// Generation is an autoregressive decoding result.
+	Generation = core.Generation
+	// Config describes a transformer architecture.
+	Config = model.Config
+	// Image is a dense input image for vision models.
+	Image = model.Image
+	// Strategy selects how inference is distributed.
+	Strategy = cluster.Strategy
+	// ClusterOptions configures the emulated device cluster.
+	ClusterOptions = cluster.Options
+	// RunResult reports one distributed inference (latency, traffic).
+	RunResult = cluster.Result
+	// NetworkProfile sets emulated bandwidth and latency.
+	NetworkProfile = netem.Profile
+	// PartitionScheme is a ratio vector over devices (§V-B).
+	PartitionScheme = partition.Scheme
+	// Matrix is the dense float32 matrix type of the tensor substrate.
+	Matrix = tensor.Matrix
+	// AttentionOrder identifies a self-attention computation order.
+	AttentionOrder = flopcount.Order
+	// CostSystem is the analytic latency model of a deployment.
+	CostSystem = costmodel.System
+)
+
+// Inference strategies.
+const (
+	// StrategySingle runs the whole model on one device.
+	StrategySingle = cluster.StrategySingle
+	// StrategyVoltage is the paper's position-wise partitioning.
+	StrategyVoltage = cluster.StrategyVoltage
+	// StrategyTensorParallel is the Megatron-style baseline.
+	StrategyTensorParallel = cluster.StrategyTensorParallel
+)
+
+// EdgeDefaultProfile mirrors the paper's default 500 Mbps edge network.
+var EdgeDefaultProfile = netem.EdgeDefault
+
+// NewEngine builds a distributed inference engine over k emulated devices.
+func NewEngine(cfg Config, k int, opts ClusterOptions) (*Engine, error) {
+	return core.New(cfg, k, opts)
+}
+
+// Model presets (the paper's evaluation set plus small test variants).
+var (
+	// BERTLarge is BERT-Large-Uncased (24 layers, F=1024, H=16).
+	BERTLarge = model.BERTLarge
+	// GPT2 is the 12-layer GPT-2 decoder.
+	GPT2 = model.GPT2
+	// ViTBase is ViT-Base/16 for 224×224 images.
+	ViTBase = model.ViTBase
+	// Tiny is a 2-layer encoder for experiments and tests.
+	Tiny = model.Tiny
+	// TinyDecoder is a 2-layer causal decoder for experiments and tests.
+	TinyDecoder = model.TinyDecoder
+	// TinyVision is a 2-layer vision model for experiments and tests.
+	TinyVision = model.TinyVision
+)
+
+// Preset resolves a model preset by name ("bert", "gpt2", "vit", ...).
+func Preset(name string) (Config, error) { return model.Presets(name) }
+
+// EvenScheme returns the uniform partition scheme over k devices.
+func EvenScheme(k int) (*PartitionScheme, error) { return partition.Even(k) }
+
+// WeightedScheme returns a scheme proportional to device weights
+// (heterogeneous clusters, §V-B).
+func WeightedScheme(weights []float64) (*PartitionScheme, error) {
+	return partition.Weighted(weights)
+}
+
+// RandomImage generates a deterministic synthetic image for vision
+// workloads.
+func RandomImage(seed int64, channels, size int) *Image {
+	return model.RandomImage(tensor.NewRNG(seed), channels, size)
+}
+
+// Calibration fixes the emulated per-device compute rate and the matching
+// bandwidth scale so measured experiments keep the paper's compute:comm
+// balance on any host.
+type Calibration = harness.Calibration
+
+// Calibrate measures this host and returns a calibration that lets maxK
+// paced devices run faithfully on the available cores.
+func Calibrate(maxK int) Calibration { return harness.Calibrate(maxK) }
+
+// SetComputeWorkers pins the number of goroutines each matrix
+// multiplication may use. Set 1 to emulate single-CPU edge devices (the
+// paper's setting); 0 restores GOMAXPROCS. Returns the previous value.
+func SetComputeWorkers(n int) int { return tensor.SetWorkers(n) }
+
+// SelectAttentionOrder returns the Theorem 2-optimal self-attention
+// computation order for input length n, partition length p, feature size f
+// and per-head size fh.
+func SelectAttentionOrder(n, p, f, fh int) AttentionOrder {
+	return flopcount.SelectOrder(flopcount.Shape{N: n, P: p, F: f, FH: fh})
+}
