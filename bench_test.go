@@ -515,3 +515,94 @@ func BenchmarkExtPipelineBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServeThroughput measures the serving runtime's gain over
+// back-to-back blocking calls at K=3 on the Tiny model: "blocking" issues
+// Infer calls sequentially (each pays broadcast, All-Gather and collect
+// propagation delays in series), while "serve-*" keeps a window of
+// outstanding Submits so the dispatcher broadcasts request i+1 while the
+// workers compute request i and the collector drains request i−1. The
+// pooled/unpooled pair isolates the matrix- and buffer-pool savings in
+// allocs/op.
+func BenchmarkServeThroughput(b *testing.B) {
+	prev := voltage.SetComputeWorkers(1)
+	defer voltage.SetComputeWorkers(prev)
+	const (
+		k      = 3
+		seqLen = 48
+		window = 8
+	)
+	profile := netem.Profile{BandwidthMbps: 500, Latency: 5 * time.Millisecond}
+	newServeCluster := func(b *testing.B, opts cluster.Options) *cluster.Cluster {
+		b.Helper()
+		opts.Profile = profile
+		c, err := cluster.NewMem(model.Tiny(), k, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		return c
+	}
+	serveInput := func(b *testing.B, c *cluster.Cluster) *tensor.Matrix {
+		b.Helper()
+		ids := make([]int, seqLen)
+		for i := range ids {
+			ids[i] = (i*13 + 5) % c.Config().VocabSize
+		}
+		x, err := c.Model(0).Embed.EmbedTokens(ids)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return x
+	}
+	reportRate := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+
+	b.Run("blocking", func(b *testing.B) {
+		c := newServeCluster(b, cluster.Options{})
+		x := serveInput(b, c)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Infer(ctx, cluster.StrategyVoltage, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRate(b)
+	})
+
+	serve := func(b *testing.B, opts cluster.Options) {
+		c := newServeCluster(b, opts)
+		c.Serve()
+		x := serveInput(b, c)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		inflight := make([]*cluster.Pending, window)
+		for i := 0; i < b.N; i++ {
+			if pend := inflight[i%window]; pend != nil {
+				if _, err := pend.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pend, err := c.Submit(ctx, cluster.StrategyVoltage, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inflight[i%window] = pend
+		}
+		for _, pend := range inflight {
+			if pend == nil {
+				continue
+			}
+			if _, err := pend.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRate(b)
+	}
+	b.Run("serve-pooled", func(b *testing.B) { serve(b, cluster.Options{}) })
+	b.Run("serve-unpooled", func(b *testing.B) { serve(b, cluster.Options{NoPooling: true}) })
+}

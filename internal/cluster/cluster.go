@@ -8,12 +8,18 @@
 // device's math is single-threaded; the workers themselves run in parallel
 // goroutines exactly as separate machines would), and all traffic flows
 // through netem-shaped links.
+//
+// The runtime is a persistent serving system (see serve.go): Submit admits
+// requests to long-lived worker loops through a dispatcher, and the
+// blocking Infer/GenerateVoltage/InferPipeline calls are thin wrappers over
+// Submit + Wait.
 package cluster
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"voltage/internal/balance"
@@ -96,11 +102,17 @@ type Options struct {
 	// traffic) at the cost of a bounded per-layer quantization error —
 	// the communication optimization the paper's conclusion points to.
 	QuantizedComm bool
+	// NoPooling disables the matrix pool on the per-layer hot path, so
+	// every activation is freshly allocated (the pre-serving behaviour;
+	// kept for A/B benchmarking).
+	NoPooling bool
 }
 
 // Cluster is an in-process emulation of a terminal device plus K workers.
 // Every worker holds a full replica of the model (Voltage's design) and a
 // tensor-parallel shard (the baseline's design).
+//
+// Requests flow through the persistent serving runtime in serve.go.
 type Cluster struct {
 	cfg    model.Config
 	k      int
@@ -109,6 +121,16 @@ type Cluster struct {
 	shards [][]*tparallel.ShardedLayer
 	scheme *partition.Scheme
 	opts   Options
+
+	// Serving runtime state.
+	pool        *tensor.MatrixPool // nil when Options.NoPooling
+	serveOnce   sync.Once
+	serveCtx    context.Context
+	serveCancel context.CancelFunc
+	queue       chan *request   // admission queue
+	admitCh     []chan *request // per-worker request tagging
+	collectCh   chan *request   // in-flight window
+	nextID      atomic.Uint64
 }
 
 // terminalRank returns the mesh rank of the terminal device.
@@ -162,11 +184,22 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 		}
 		shards[r] = sh
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg: cfg, k: k, peers: peers,
 		models: models, shards: shards,
 		scheme: scheme, opts: opts,
-	}, nil
+		queue:     make(chan *request, queueDepth),
+		collectCh: make(chan *request, inflightDepth),
+		admitCh:   make([]chan *request, k),
+	}
+	for r := range c.admitCh {
+		c.admitCh[r] = make(chan *request, admitDepth)
+	}
+	if !opts.NoPooling {
+		c.pool = &tensor.MatrixPool{}
+	}
+	c.serveCtx, c.serveCancel = context.WithCancel(context.Background())
+	return c, nil
 }
 
 // K returns the number of worker devices.
@@ -187,13 +220,16 @@ func (c *Cluster) SetBandwidth(mbps float64) {
 	}
 }
 
-// Close shuts the mesh down.
+// Close stops the serving runtime and shuts the mesh down.
 func (c *Cluster) Close() {
+	c.serveCancel()
 	_ = c.peers[0].Close()
 }
 
 // Result reports one distributed inference.
 type Result struct {
+	// ID is the request's cluster-unique admission id.
+	ID uint64
 	// Output is the final hidden-state matrix (N×F) as assembled at the
 	// terminal device.
 	Output *tensor.Matrix
@@ -212,8 +248,7 @@ type Result struct {
 // communication formulas describe.
 func (r *Result) TotalBytesSent() int64 {
 	var total int64
-	for i, s := range r.PerDevice[:len(r.PerDevice)-1] {
-		_ = i
+	for _, s := range r.PerDevice[:len(r.PerDevice)-1] {
 		total += s.BytesSent
 	}
 	return total
@@ -221,238 +256,45 @@ func (r *Result) TotalBytesSent() int64 {
 
 // Infer runs one distributed inference of the embedded input x under the
 // given strategy and reports the terminal-observed latency. x is the N×F
-// feature matrix produced by pre-processing (embedding).
+// feature matrix produced by pre-processing (embedding). It is a blocking
+// wrapper over Submit; concurrent callers are sequenced by the serving
+// runtime.
 func (c *Cluster) Infer(ctx context.Context, strategy Strategy, x *tensor.Matrix) (*Result, error) {
-	before := make([]comm.Stats, c.k+1)
-	for r := 0; r <= c.k; r++ {
-		before[r] = c.peers[r].Stats()
+	pend, err := c.Submit(ctx, strategy, x)
+	if err != nil {
+		return nil, err
 	}
-
-	var workerErrs []error
-	var output *tensor.Matrix
-	var latency time.Duration
-	var wg sync.WaitGroup
-	workerErrs = make([]error, c.k+1)
-
-	// Workers.
-	for r := 0; r < c.k; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			workerErrs[r] = c.runWorker(ctx, r, strategy)
-		}(r)
-	}
-	// Terminal.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		start := time.Now()
-		out, err := c.runTerminal(ctx, strategy, x)
-		latency = time.Since(start)
-		output = out
-		workerErrs[c.k] = err
-	}()
-	wg.Wait()
-
-	for r, err := range workerErrs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: rank %d (%s): %w", r, strategy, err)
-		}
-	}
-	per := make([]comm.Stats, c.k+1)
-	for r := 0; r <= c.k; r++ {
-		after := c.peers[r].Stats()
-		per[r] = comm.Stats{
-			BytesSent: after.BytesSent - before[r].BytesSent,
-			BytesRecv: after.BytesRecv - before[r].BytesRecv,
-			MsgsSent:  after.MsgsSent - before[r].MsgsSent,
-			MsgsRecv:  after.MsgsRecv - before[r].MsgsRecv,
-		}
-	}
-	return &Result{Output: output, Latency: latency, PerDevice: per, Strategy: strategy}, nil
-}
-
-// runTerminal implements the terminal device's side of Algorithm 2:
-// distribute the input features, then collect the final output.
-func (c *Cluster) runTerminal(ctx context.Context, strategy Strategy, x *tensor.Matrix) (*tensor.Matrix, error) {
-	p := c.peers[c.terminalRank()]
-	blob := tensor.Encode(nil, x)
-	switch strategy {
-	case StrategySingle:
-		// Only worker 0 participates.
-		if err := p.Send(ctx, 0, blob); err != nil {
-			return nil, err
-		}
-		got, err := p.Recv(ctx, 0)
-		if err != nil {
-			return nil, err
-		}
-		out, _, err := tensor.Decode(got)
-		return out, err
-	case StrategyVoltage:
-		for r := 0; r < c.k; r++ {
-			if err := p.Send(ctx, r, blob); err != nil {
-				return nil, err
-			}
-		}
-		// Collect final-layer partitions from every worker (Algorithm 2,
-		// line 8) and assemble by rank order. Assembly is driven by the
-		// received row counts rather than the static scheme so dynamic
-		// per-layer re-balancing needs no extra coordination.
-		return c.collectPartitions(ctx, p, x.Rows())
-	case StrategyTensorParallel:
-		for r := 0; r < c.k; r++ {
-			if err := p.Send(ctx, r, blob); err != nil {
-				return nil, err
-			}
-		}
-		// Every worker holds the full output; worker 0 reports it.
-		got, err := p.Recv(ctx, 0)
-		if err != nil {
-			return nil, err
-		}
-		out, _, err := tensor.Decode(got)
-		return out, err
-	default:
-		return nil, fmt.Errorf("cluster: unknown strategy %v", strategy)
-	}
+	return pend.Wait(ctx)
 }
 
 // collectPartitions receives one final-layer partition from every worker
 // and stacks them in rank order, verifying full coverage of n rows.
-func (c *Cluster) collectPartitions(ctx context.Context, p comm.Peer, n int) (*tensor.Matrix, error) {
+func (c *Cluster) collectPartitions(ctx context.Context, p comm.Peer, ex *comm.Exchange, n int) (*tensor.Matrix, error) {
+	pool := ex.Pool()
 	parts := make([]*tensor.Matrix, c.k)
 	for r := 0; r < c.k; r++ {
 		got, err := p.Recv(ctx, r)
 		if err != nil {
 			return nil, err
 		}
-		part, _, err := tensor.Decode(got)
+		part, _, err := tensor.DecodePooled(pool, got)
 		if err != nil {
 			return nil, err
 		}
+		comm.ReleaseBuffer(got)
 		parts[r] = part
 	}
 	out, err := tensor.ConcatRows(parts...)
 	if err != nil {
 		return nil, err
 	}
+	for _, part := range parts {
+		pool.Put(part)
+	}
 	if out.Rows() != n {
 		return nil, fmt.Errorf("cluster: assembled %d rows, want %d", out.Rows(), n)
 	}
 	return out, nil
-}
-
-// runWorker implements one worker device's side of the chosen strategy.
-func (c *Cluster) runWorker(ctx context.Context, rank int, strategy Strategy) error {
-	p := c.peers[rank]
-	term := c.terminalRank()
-	switch strategy {
-	case StrategySingle:
-		if rank != 0 {
-			return nil // idle
-		}
-		blob, err := p.Recv(ctx, term)
-		if err != nil {
-			return err
-		}
-		x, _, err := tensor.Decode(blob)
-		if err != nil {
-			return err
-		}
-		cur := x
-		for li, layer := range c.models[0].Layers {
-			start := time.Now()
-			out, err := layer.Forward(cur)
-			if err != nil {
-				return fmt.Errorf("layer %d: %w", li, err)
-			}
-			cost, err := layer.Cost(cur.Rows(), cur.Rows())
-			if err != nil {
-				return err
-			}
-			if err := c.paceRank(ctx, 0, start, cost); err != nil {
-				return err
-			}
-			c.opts.Recorder.Add(0, trace.PhaseCompute, time.Since(start))
-			cur = out
-		}
-		return p.Send(ctx, term, tensor.Encode(nil, cur))
-	case StrategyVoltage:
-		return c.voltageWorker(ctx, rank)
-	case StrategyTensorParallel:
-		return c.tpWorker(ctx, rank)
-	default:
-		return fmt.Errorf("cluster: unknown strategy %v", strategy)
-	}
-}
-
-// voltageWorker is Algorithm 2, lines 4–15, for one device.
-func (c *Cluster) voltageWorker(ctx context.Context, rank int) error {
-	p := c.peers[rank]
-	term := c.terminalRank()
-	blob, err := p.Recv(ctx, term)
-	if err != nil {
-		return err
-	}
-	x, _, err := tensor.Decode(blob)
-	if err != nil {
-		return err
-	}
-	ranges, err := c.scheme.Ranges(x.Rows())
-	if err != nil {
-		return err
-	}
-	group, err := c.workerGroup(rank)
-	if err != nil {
-		return err
-	}
-	var tracker *balance.Tracker
-	if c.opts.DynamicScheme {
-		if tracker, err = balance.NewTracker(c.k, 0); err != nil {
-			return err
-		}
-	}
-	m := c.models[rank]
-	for li, layer := range m.Layers {
-		start := time.Now()
-		part, _, err := layer.ForwardPartition(x, ranges[rank])
-		if err != nil {
-			return fmt.Errorf("layer %d: %w", li, err)
-		}
-		if p := ranges[rank].Len(); p > 0 {
-			cost, err := layer.Cost(x.Rows(), p)
-			if err != nil {
-				return err
-			}
-			if err := c.paceRank(ctx, rank, start, cost); err != nil {
-				return err
-			}
-		}
-		elapsed := time.Since(start)
-		c.opts.Recorder.Add(rank, trace.PhaseCompute, elapsed)
-		if li == len(m.Layers)-1 {
-			// Final layer: ship the partition to the terminal.
-			return p.Send(ctx, term, tensor.Encode(nil, part))
-		}
-		commStart := time.Now()
-		if c.opts.QuantizedComm {
-			x, err = comm.AllGatherMatrixQ(ctx, group, part, ranges, c.opts.RingAllGather)
-		} else {
-			x, err = comm.AllGatherMatrix(ctx, group, part, ranges, c.opts.RingAllGather)
-		}
-		if err != nil {
-			return fmt.Errorf("layer %d allgather: %w", li, err)
-		}
-		c.opts.Recorder.Add(rank, trace.PhaseComm, time.Since(commStart))
-		if tracker != nil {
-			ranges, err = c.rebalance(ctx, group, tracker, ranges[rank], elapsed, x.Rows())
-			if err != nil {
-				return fmt.Errorf("layer %d rebalance: %w", li, err)
-			}
-		}
-	}
-	return nil
 }
 
 // rebalance exchanges per-position timings among the workers and derives
@@ -483,46 +325,6 @@ func (c *Cluster) rebalance(ctx context.Context, group comm.Peer, tracker *balan
 	return scheme.Ranges(n)
 }
 
-// tpWorker runs the tensor-parallel baseline for one device.
-func (c *Cluster) tpWorker(ctx context.Context, rank int) error {
-	p := c.peers[rank]
-	term := c.terminalRank()
-	blob, err := p.Recv(ctx, term)
-	if err != nil {
-		return err
-	}
-	x, _, err := tensor.Decode(blob)
-	if err != nil {
-		return err
-	}
-	group, err := c.workerGroup(rank)
-	if err != nil {
-		return err
-	}
-	cur := x
-	for li, shard := range c.shards[rank] {
-		shard.Pace = func(ctx context.Context, start time.Time, flops int64) error {
-			if err := c.paceRank(ctx, rank, start, flops); err != nil {
-				return err
-			}
-			c.opts.Recorder.Add(rank, trace.PhaseCompute, time.Since(start))
-			return nil
-		}
-		shard.OnComm = func(d time.Duration) {
-			c.opts.Recorder.Add(rank, trace.PhaseComm, d)
-		}
-		out, err := shard.Forward(ctx, group, cur, !c.opts.NaiveAllReduce)
-		if err != nil {
-			return fmt.Errorf("layer %d: %w", li, err)
-		}
-		cur = out
-	}
-	if rank == 0 {
-		return p.Send(ctx, term, tensor.Encode(nil, cur))
-	}
-	return nil
-}
-
 // deviceRate returns worker rank's emulated compute rate (0 = unpaced).
 func (c *Cluster) deviceRate(rank int) float64 {
 	if rank >= 0 && rank < len(c.opts.HeteroDeviceFlops) {
@@ -548,11 +350,13 @@ func (c *Cluster) paceRank(ctx context.Context, rank int, start time.Time, flops
 	return netem.SleepUntil(ctx, start.Add(target))
 }
 
-// workerGroup returns the worker-only collective group for a rank.
-func (c *Cluster) workerGroup(rank int) (comm.Peer, error) {
+// workerGroup returns the worker-only collective group over p (a worker's
+// per-request stat scope, so collective traffic is attributed to the
+// request).
+func (c *Cluster) workerGroup(p comm.Peer) (comm.Peer, error) {
 	members := make([]int, c.k)
 	for i := range members {
 		members[i] = i
 	}
-	return comm.NewSubgroup(c.peers[rank], members)
+	return comm.NewSubgroup(p, members)
 }

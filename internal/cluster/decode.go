@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"sync"
 	"time"
 
 	"voltage/internal/comm"
@@ -47,6 +46,10 @@ func decodeFrame(id int) []byte {
 // GenerateVoltage decodes steps tokens greedily: distributed prefill
 // (Voltage, Algorithm 2) followed by KV-cached decode steps. The model
 // must be a decoder.
+//
+// Generation's terminal protocol interleaves sends and receives, so the
+// serving runtime treats it as exclusive: it is sequenced with other
+// requests but nothing overlaps it.
 func (c *Cluster) GenerateVoltage(ctx context.Context, prompt []int, steps int) (*GenerateResult, error) {
 	if c.cfg.Kind != model.KindDecoder {
 		return nil, fmt.Errorf("cluster: %s is not a decoder", c.cfg.Name)
@@ -57,48 +60,46 @@ func (c *Cluster) GenerateVoltage(ctx context.Context, prompt []int, steps int) 
 	if steps < 0 {
 		return nil, fmt.Errorf("cluster: negative steps %d", steps)
 	}
-	before := make([]comm.Stats, c.k+1)
-	for r := 0; r <= c.k; r++ {
-		before[r] = c.peers[r].Stats()
+	req := &request{
+		runner: generateRunner{},
+		prompt: prompt,
+		steps:  steps,
+		genRes: &GenerateResult{},
 	}
-
-	res := &GenerateResult{}
-	errs := make([]error, c.k+1)
-	var wg sync.WaitGroup
-	for r := 0; r < c.k; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			errs[r] = c.decodeWorker(ctx, r)
-		}(r)
+	pend, err := c.submit(ctx, req)
+	if err != nil {
+		return nil, err
 	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		errs[c.k] = c.decodeTerminal(ctx, prompt, steps, res)
-	}()
-	wg.Wait()
-	for r, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: generate rank %d: %w", r, err)
-		}
+	if err := pend.wait(ctx); err != nil {
+		return nil, err
 	}
-	res.PerDevice = make([]comm.Stats, c.k+1)
-	for r := 0; r <= c.k; r++ {
-		after := c.peers[r].Stats()
-		res.PerDevice[r] = comm.Stats{
-			BytesSent: after.BytesSent - before[r].BytesSent,
-			BytesRecv: after.BytesRecv - before[r].BytesRecv,
-			MsgsSent:  after.MsgsSent - before[r].MsgsSent,
-			MsgsRecv:  after.MsgsRecv - before[r].MsgsRecv,
-		}
-	}
+	res := req.genRes
+	res.PerDevice = append([]comm.Stats(nil), req.perDevice...)
 	return res, nil
 }
 
+// generateRunner is the KV-cached generation protocol.
+type generateRunner struct{}
+
+func (generateRunner) name() string    { return "generate" }
+func (generateRunner) exclusive() bool { return true }
+
+// admit is unused: exclusive runners run their whole terminal side in
+// collect.
+func (generateRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
+	return nil
+}
+
+func (generateRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
+	return c.decodeTerminal(ctx, p, ex, req.prompt, req.steps, req.genRes)
+}
+
+func (generateRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
+	return c.decodeWorker(ctx, p, ex, rank)
+}
+
 // decodeTerminal drives the generation from the terminal device.
-func (c *Cluster) decodeTerminal(ctx context.Context, prompt []int, steps int, res *GenerateResult) error {
-	p := c.peers[c.terminalRank()]
+func (c *Cluster) decodeTerminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, prompt []int, steps int, res *GenerateResult) error {
 	m := c.models[0] // pre/post-processing replica
 	x, err := m.Embed.EmbedTokens(prompt)
 	if err != nil {
@@ -112,14 +113,14 @@ func (c *Cluster) decodeTerminal(ctx context.Context, prompt []int, steps int, r
 
 	// Prefill: broadcast the embedded prompt, collect final partitions.
 	start := time.Now()
-	blob := tensor.Encode(nil, x)
+	blob := ex.Encode(x)
 	for r := 0; r < c.k; r++ {
 		if err := p.Send(ctx, r, blob); err != nil {
 			shutdown()
 			return err
 		}
 	}
-	out, err := c.collectPartitions(ctx, p, x.Rows())
+	out, err := c.collectPartitions(ctx, p, ex, x.Rows())
 	if err != nil {
 		shutdown()
 		return err
@@ -167,6 +168,7 @@ func (c *Cluster) decodeTerminal(ctx context.Context, prompt []int, steps int, r
 			shutdown()
 			return err
 		}
+		comm.ReleaseBuffer(got)
 	}
 	res.DecodeLatency = time.Since(start)
 	res.Tokens = tokens
@@ -175,13 +177,14 @@ func (c *Cluster) decodeTerminal(ctx context.Context, prompt []int, steps int, r
 }
 
 // decodeWorker serves the prefill plus decode steps on one device.
-func (c *Cluster) decodeWorker(ctx context.Context, rank int) error {
-	p := c.peers[rank]
+func (c *Cluster) decodeWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int) error {
 	term := c.terminalRank()
 	m := c.models[rank]
 
 	// Prefill: Algorithm 2 with cache building. The worker caches every
 	// layer's K/V from the layer input it holds after each All-Gather.
+	// (Activations are not recycled here: the prefill state may outlive the
+	// layer loop.)
 	blob, err := p.Recv(ctx, term)
 	if err != nil {
 		return err
@@ -190,11 +193,12 @@ func (c *Cluster) decodeWorker(ctx context.Context, rank int) error {
 	if err != nil {
 		return err
 	}
+	comm.ReleaseBuffer(blob)
 	ranges, err := c.scheme.Ranges(x.Rows())
 	if err != nil {
 		return err
 	}
-	group, err := c.workerGroup(rank)
+	group, err := c.workerGroup(p)
 	if err != nil {
 		return err
 	}
@@ -223,7 +227,7 @@ func (c *Cluster) decodeWorker(ctx context.Context, rank int) error {
 			}
 		}
 		if li == len(m.Layers)-1 {
-			if err := p.Send(ctx, term, tensor.Encode(nil, part)); err != nil {
+			if err := p.Send(ctx, term, ex.Encode(part)); err != nil {
 				return err
 			}
 			break
@@ -247,6 +251,7 @@ func (c *Cluster) decodeWorker(ctx context.Context, rank int) error {
 			return fmt.Errorf("cluster: bad decode frame of %d bytes", len(frame))
 		}
 		id := int(binary.LittleEndian.Uint32(frame))
+		comm.ReleaseBuffer(frame)
 		start := time.Now()
 		row, err := m.DecodeStep(state, id)
 		if err != nil {
@@ -256,7 +261,7 @@ func (c *Cluster) decodeWorker(ctx context.Context, rank int) error {
 			return err
 		}
 		if rank == 0 {
-			if err := p.Send(ctx, term, tensor.Encode(nil, row)); err != nil {
+			if err := p.Send(ctx, term, ex.Encode(row)); err != nil {
 				return err
 			}
 		}

@@ -3,7 +3,6 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"voltage/internal/comm"
@@ -38,67 +37,73 @@ func (r *PipelineResult) Throughput() float64 {
 // InferPipeline runs the requests through the pipeline-parallel baseline:
 // the layer stack is split across the K workers and the microbatches
 // stream through the stages. All requests must share the same shape.
+//
+// The pipeline's terminal feeds and drains concurrently, so the serving
+// runtime treats it as exclusive: sequenced with other requests, nothing
+// overlapping it.
 func (c *Cluster) InferPipeline(ctx context.Context, xs []*tensor.Matrix) (*PipelineResult, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("cluster: no pipeline requests")
 	}
-	before := make([]comm.Stats, c.k+1)
-	for r := 0; r <= c.k; r++ {
-		before[r] = c.peers[r].Stats()
+	req := &request{
+		runner:  pipelineRunner{},
+		xs:      xs,
+		pipeRes: &PipelineResult{},
 	}
-	res := &PipelineResult{}
-	errs := make([]error, c.k+1)
-	var wg sync.WaitGroup
-	for r := 0; r < c.k; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			stage, err := pipeline.ShardLayers(c.models[r], r, c.k)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			pace := func(ctx context.Context, start time.Time, flops int64) error {
-				return c.paceRank(ctx, r, start, flops)
-			}
-			errs[r] = pipeline.RunStage(ctx, c.peers[r], c.terminalRank(), stage, r, c.k, len(xs), pace)
-		}(r)
+	pend, err := c.submit(ctx, req)
+	if err != nil {
+		return nil, err
 	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		errs[c.k] = c.pipelineTerminal(ctx, xs, res)
-	}()
-	wg.Wait()
-	for r, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: pipeline rank %d: %w", r, err)
-		}
+	if err := pend.wait(ctx); err != nil {
+		return nil, err
 	}
-	res.PerDevice = make([]comm.Stats, c.k+1)
-	for r := 0; r <= c.k; r++ {
-		after := c.peers[r].Stats()
-		res.PerDevice[r] = comm.Stats{
-			BytesSent: after.BytesSent - before[r].BytesSent,
-			BytesRecv: after.BytesRecv - before[r].BytesRecv,
-			MsgsSent:  after.MsgsSent - before[r].MsgsSent,
-			MsgsRecv:  after.MsgsRecv - before[r].MsgsRecv,
-		}
-	}
+	res := req.pipeRes
+	res.PerDevice = append([]comm.Stats(nil), req.perDevice...)
 	return res, nil
+}
+
+// pipelineRunner is the pipeline-parallel baseline protocol.
+type pipelineRunner struct{}
+
+func (pipelineRunner) name() string    { return "pipeline" }
+func (pipelineRunner) exclusive() bool { return true }
+
+// admit is unused: exclusive runners run their whole terminal side in
+// collect.
+func (pipelineRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
+	return nil
+}
+
+func (pipelineRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
+	return c.pipelineTerminal(ctx, p, ex, req.xs, req.pipeRes)
+}
+
+func (pipelineRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
+	stage, err := pipeline.ShardLayers(c.models[rank], rank, c.k)
+	if err != nil {
+		return err
+	}
+	pace := func(ctx context.Context, start time.Time, flops int64) error {
+		return c.paceRank(ctx, rank, start, flops)
+	}
+	return pipeline.RunStage(ctx, p, c.terminalRank(), stage, rank, c.k, len(req.xs), pace)
 }
 
 // pipelineTerminal feeds requests into stage 0 and drains results from the
 // last stage concurrently, so the pipeline actually fills.
-func (c *Cluster) pipelineTerminal(ctx context.Context, xs []*tensor.Matrix, res *PipelineResult) error {
-	p := c.peers[c.terminalRank()]
+func (c *Cluster) pipelineTerminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, xs []*tensor.Matrix, res *PipelineResult) error {
 	lastStage := c.k - 1
 	start := time.Now()
 
 	sendErr := make(chan error, 1)
 	go func() {
+		// The feeder runs concurrently with the drain loop (and may outlive
+		// an errored collect), so it keeps its own scratch buffer instead of
+		// sharing the collector's Exchange.
+		var buf []byte
 		for _, x := range xs {
-			if err := p.Send(ctx, 0, tensor.Encode(nil, x)); err != nil {
+			buf = tensor.Encode(buf[:0], x)
+			if err := p.Send(ctx, 0, buf); err != nil {
 				sendErr <- err
 				return
 			}
@@ -116,6 +121,7 @@ func (c *Cluster) pipelineTerminal(ctx context.Context, xs []*tensor.Matrix, res
 		if err != nil {
 			return err
 		}
+		comm.ReleaseBuffer(blob)
 		if i == 0 {
 			res.FirstLatency = time.Since(start)
 		}

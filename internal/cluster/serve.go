@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"voltage/internal/comm"
+	"voltage/internal/tensor"
+)
+
+// The persistent serving runtime. A cluster serves requests with K+2
+// long-lived goroutines instead of spawning K+1 per call:
+//
+//   - the dispatcher pulls admitted requests off the queue, tags every
+//     worker loop with the request, and runs the terminal's input broadcast;
+//   - K worker loops execute the strategy's device protocol for one request
+//     at a time, in admission order;
+//   - the collector drains the terminal's result side and completes
+//     requests.
+//
+// Requests are sequenced, not locked: the dispatcher may broadcast request
+// i+1 while the workers compute request i and the collector drains request
+// i−1. The SPMD collectives stay correct because every role processes
+// requests in the same admission order and every mesh link is FIFO — request
+// identity rides on ordering, so the data plane carries byte-for-byte the
+// same traffic as a lone blocking call and the paper's communication
+// formulas stay directly measurable. Runners that interleave terminal sends
+// and receives (generation, pipeline) are marked exclusive and fence the
+// queue instead.
+//
+// Per-request traffic is attributed through comm.Scoped stat scopes — one
+// per (request, device) — rather than by diffing the mesh's cumulative
+// counters, which would double-count under overlap.
+
+// errServingStopped reports submission to (or abandonment by) a closed
+// cluster.
+var errServingStopped = errors.New("cluster: serving stopped")
+
+// Queue depths: queueDepth bounds admission, inflightDepth bounds how many
+// requests may occupy the mesh at once (which in turn keeps per-link queues
+// well under the transport's limits), admitDepth lets worker loops lag the
+// dispatcher without blocking it.
+const (
+	queueDepth    = 64
+	inflightDepth = 8
+	admitDepth    = 16
+)
+
+// request is one in-flight unit of work flowing through the serving
+// runtime.
+type request struct {
+	id       uint64
+	strategy Strategy
+	runner   strategyRunner
+
+	// Exactly one input set is populated, per runner kind.
+	x      *tensor.Matrix   // Infer strategies
+	prompt []int            // generate
+	steps  int              // generate
+	xs     []*tensor.Matrix // pipeline
+
+	// ctx governs the whole request; cancel releases every role on the
+	// first error so no goroutine blocks on a dead request.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	start      time.Time
+	output     *tensor.Matrix
+	genRes     *GenerateResult
+	pipeRes    *PipelineResult
+	latency    time.Duration
+	admitStats comm.Stats
+	perDevice  []comm.Stats // slot r written only by rank r (terminal = k)
+	errs       []error      // same ownership discipline as perDevice
+
+	workers sync.WaitGroup // one count per worker rank
+	once    sync.Once
+	err     error
+	done    chan struct{}
+}
+
+// finish resolves the request exactly once.
+func (req *request) finish(err error) {
+	req.once.Do(func() {
+		req.err = err
+		close(req.done)
+		req.cancel()
+	})
+}
+
+// Pending is a submitted request's handle.
+type Pending struct {
+	c   *Cluster
+	req *request
+}
+
+// ID returns the request's cluster-unique id.
+func (p *Pending) ID() uint64 { return p.req.id }
+
+// Done is closed when the request has completed (successfully or not).
+func (p *Pending) Done() <-chan struct{} { return p.req.done }
+
+// wait blocks until the request resolves, the cluster closes, or ctx ends.
+func (p *Pending) wait(ctx context.Context) error {
+	select {
+	case <-p.req.done:
+		return p.req.err
+	case <-p.c.serveCtx.Done():
+		select {
+		case <-p.req.done: // resolution raced the shutdown; prefer it
+			return p.req.err
+		default:
+			return errServingStopped
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Wait blocks until the request completes and returns its result.
+func (p *Pending) Wait(ctx context.Context) (*Result, error) {
+	if err := p.wait(ctx); err != nil {
+		return nil, err
+	}
+	req := p.req
+	return &Result{
+		ID:        req.id,
+		Output:    req.output,
+		Latency:   req.latency,
+		PerDevice: append([]comm.Stats(nil), req.perDevice...),
+		Strategy:  req.strategy,
+	}, nil
+}
+
+// Serve starts the persistent serving goroutines. It is idempotent and is
+// called implicitly by the first Submit; clusters that never serve never
+// spawn them.
+func (c *Cluster) Serve() {
+	c.serveOnce.Do(func() {
+		for r := 0; r < c.k; r++ {
+			go c.workerLoop(r)
+		}
+		go c.dispatchLoop()
+		go c.collectLoop()
+	})
+}
+
+// Submit admits one inference request and returns immediately with its
+// handle. Requests execute in admission order; many may be in flight at
+// once, overlapping the terminal's I/O for one request with the workers'
+// compute for another.
+func (c *Cluster) Submit(ctx context.Context, strategy Strategy, x *tensor.Matrix) (*Pending, error) {
+	runner, err := runnerFor(strategy)
+	if err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("cluster: nil input")
+	}
+	return c.submit(ctx, &request{strategy: strategy, runner: runner, x: x})
+}
+
+// submit finalizes the request's bookkeeping and enqueues it.
+func (c *Cluster) submit(ctx context.Context, req *request) (*Pending, error) {
+	c.Serve()
+	req.id = c.nextID.Add(1)
+	req.done = make(chan struct{})
+	req.errs = make([]error, c.k+1)
+	req.perDevice = make([]comm.Stats, c.k+1)
+	req.ctx, req.cancel = context.WithCancel(ctx)
+	req.workers.Add(c.k)
+	// Deterministic fast-fail: a select with a ready queue slot could
+	// otherwise accept a request after Close.
+	if c.serveCtx.Err() != nil {
+		req.cancel()
+		return nil, errServingStopped
+	}
+	select {
+	case c.queue <- req:
+		return &Pending{c: c, req: req}, nil
+	case <-c.serveCtx.Done():
+		req.cancel()
+		return nil, errServingStopped
+	case <-ctx.Done():
+		req.cancel()
+		return nil, ctx.Err()
+	}
+}
+
+// dispatchLoop sequences admitted requests into the mesh.
+func (c *Cluster) dispatchLoop() {
+	ex := comm.NewExchange(c.pool)
+	for {
+		select {
+		case req := <-c.queue:
+			if !c.dispatch(req, ex) {
+				c.drainQueue()
+				return
+			}
+		case <-c.serveCtx.Done():
+			c.drainQueue()
+			return
+		}
+	}
+}
+
+// dispatch tags every worker loop with the request and runs the terminal's
+// admission side. Returns false when the cluster shut down mid-dispatch.
+func (c *Cluster) dispatch(req *request, ex *comm.Exchange) bool {
+	for r := 0; r < c.k; r++ {
+		select {
+		case c.admitCh[r] <- req:
+		case <-c.serveCtx.Done():
+			req.finish(errServingStopped)
+			return false
+		}
+	}
+	if !req.runner.exclusive() {
+		scope := comm.Scoped(c.peers[c.terminalRank()])
+		req.start = time.Now()
+		if err := req.runner.admit(req.ctx, c, scope, ex, req); err != nil {
+			req.errs[c.k] = err
+			req.cancel() // unblock workers waiting on input
+		}
+		req.admitStats = scope.Stats()
+	}
+	select {
+	case c.collectCh <- req:
+	case <-c.serveCtx.Done():
+		req.finish(errServingStopped)
+		return false
+	}
+	if req.runner.exclusive() {
+		// The exclusive terminal protocol interleaves sends and receives,
+		// so nothing else may enter the mesh until it resolves.
+		select {
+		case <-req.done:
+		case <-c.serveCtx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// drainQueue fails every queued-but-undispatched request at shutdown.
+func (c *Cluster) drainQueue() {
+	for {
+		select {
+		case req := <-c.queue:
+			req.finish(errServingStopped)
+		default:
+			return
+		}
+	}
+}
+
+// workerLoop is rank's persistent device goroutine: it executes the device
+// side of each tagged request, in admission order.
+func (c *Cluster) workerLoop(rank int) {
+	ex := comm.NewExchange(c.pool)
+	for {
+		select {
+		case req := <-c.admitCh[rank]:
+			scope := comm.Scoped(c.peers[rank])
+			err := req.runner.worker(req.ctx, c, scope, ex, rank, req)
+			req.errs[rank] = err
+			req.perDevice[rank] = scope.Stats()
+			if err != nil {
+				req.cancel() // release the other roles
+			}
+			req.workers.Done()
+		case <-c.serveCtx.Done():
+			// Unblock the collector for requests this loop will never run.
+			for {
+				select {
+				case req := <-c.admitCh[rank]:
+					req.errs[rank] = errServingStopped
+					req.workers.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collectLoop completes requests: it drains the terminal's result side,
+// waits for the workers, and resolves the handle.
+func (c *Cluster) collectLoop() {
+	ex := comm.NewExchange(c.pool)
+	for {
+		select {
+		case req := <-c.collectCh:
+			c.collect(req, ex)
+		case <-c.serveCtx.Done():
+			for {
+				select {
+				case req := <-c.collectCh:
+					req.finish(errServingStopped)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect runs the terminal's result side of one request and finalizes its
+// latency, stats, and error.
+func (c *Cluster) collect(req *request, ex *comm.Exchange) {
+	scope := comm.Scoped(c.peers[c.terminalRank()])
+	if req.runner.exclusive() {
+		req.start = time.Now()
+	}
+	err := req.runner.collect(req.ctx, c, scope, ex, req)
+	req.latency = time.Since(req.start)
+	if err != nil {
+		req.cancel() // release workers blocked on a failed terminal
+		if req.errs[c.k] == nil {
+			req.errs[c.k] = err
+		}
+	}
+	req.workers.Wait()
+	req.perDevice[c.k] = req.admitStats.Add(scope.Stats())
+	var first error
+	for r, e := range req.errs {
+		if e != nil {
+			first = fmt.Errorf("cluster: rank %d (%s): %w", r, req.runner.name(), e)
+			break
+		}
+	}
+	req.finish(first)
+}

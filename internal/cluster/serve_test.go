@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"voltage/internal/comm"
+	"voltage/internal/model"
+)
+
+// TestConcurrentSubmitsMatchSequential is the serving runtime's core
+// correctness claim: ≥8 overlapping requests across all three strategies
+// produce bit-identical outputs — and identical per-request traffic stats —
+// to the same requests run back-to-back through blocking Infer on an
+// identically seeded cluster. Run under -race via scripts/ci.sh.
+func TestConcurrentSubmitsMatchSequential(t *testing.T) {
+	const k = 3
+	strategies := []Strategy{StrategySingle, StrategyVoltage, StrategyTensorParallel}
+	lengths := []int{5, 9, 13}
+
+	// Sequential baseline.
+	seq := newTiny(t, k, Options{})
+	type want struct {
+		strategy Strategy
+		n        int
+		res      *Result
+	}
+	var wants []want
+	for si, s := range strategies {
+		for _, n := range lengths {
+			x := embedTiny(t, seq, n+si) // distinct shapes per strategy too
+			res, err := seq.Infer(context.Background(), s, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, want{strategy: s, n: n + si, res: res})
+		}
+	}
+
+	// Concurrent: submit all nine before waiting on any.
+	conc := newTiny(t, k, Options{})
+	pends := make([]*Pending, len(wants))
+	for i, w := range wants {
+		x := embedTiny(t, conc, w.n)
+		pend, err := conc.Submit(context.Background(), w.strategy, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pends[i] = pend
+	}
+	for i, pend := range pends {
+		got, err := pend.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("request %d (%v): %v", i, wants[i].strategy, err)
+		}
+		w := wants[i]
+		if got.Strategy != w.strategy {
+			t.Fatalf("request %d: strategy %v, want %v", i, got.Strategy, w.strategy)
+		}
+		if !got.Output.Equal(w.res.Output) {
+			t.Fatalf("request %d (%v, n=%d): concurrent output differs from sequential", i, w.strategy, w.n)
+		}
+		if len(got.PerDevice) != k+1 {
+			t.Fatalf("request %d: %d PerDevice entries", i, len(got.PerDevice))
+		}
+		for r := range got.PerDevice {
+			if got.PerDevice[r] != w.res.PerDevice[r] {
+				t.Fatalf("request %d (%v) rank %d: stats %+v, want %+v",
+					i, w.strategy, r, got.PerDevice[r], w.res.PerDevice[r])
+			}
+		}
+		if got.Latency <= 0 {
+			t.Fatalf("request %d: latency %v", i, got.Latency)
+		}
+	}
+	// IDs are unique and increasing in admission order.
+	for i := 1; i < len(pends); i++ {
+		if pends[i].ID() <= pends[i-1].ID() {
+			t.Fatalf("ids not increasing: %d then %d", pends[i-1].ID(), pends[i].ID())
+		}
+	}
+}
+
+// TestPooledMatchesUnpooled drives the same requests through a pooled and
+// an unpooled cluster; repeated submissions force matrix reuse, which must
+// never leak stale values into outputs.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	pooled := newTiny(t, 3, Options{})
+	plain := newTiny(t, 3, Options{NoPooling: true})
+	for round := 0; round < 3; round++ {
+		for _, n := range []int{6, 11} {
+			x := embedTiny(t, pooled, n)
+			a, err := pooled.Infer(context.Background(), StrategyVoltage, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := plain.Infer(context.Background(), StrategyVoltage, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Output.Equal(b.Output) {
+				t.Fatalf("round %d n=%d: pooled output differs from unpooled", round, n)
+			}
+		}
+	}
+}
+
+// TestGenerateBetweenConcurrentInfers interleaves an exclusive request
+// (KV-cached generation) with overlapping classification traffic: the
+// dispatcher must fence the queue around it without deadlock or
+// cross-request corruption.
+func TestGenerateBetweenConcurrentInfers(t *testing.T) {
+	c, err := NewMem(model.TinyDecoder(), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	x := embedTiny(t, c, 7)
+	before, err := c.Infer(context.Background(), StrategyVoltage, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pends []*Pending
+	for i := 0; i < 4; i++ {
+		pend, err := c.Submit(context.Background(), StrategyVoltage, embedTiny(t, c, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pends = append(pends, pend)
+	}
+	gen, err := c.GenerateVoltage(context.Background(), []int{4, 8, 15}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := model.NewRandom(model.TinyDecoder(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTokens, err := ref.GenerateIncremental([]int{4, 8, 15}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantTokens {
+		if gen.Tokens[i] != wantTokens[i] {
+			t.Fatalf("generation diverged at %d: %v vs %v", i, gen.Tokens, wantTokens)
+		}
+	}
+	for i, pend := range pends {
+		res, err := pend.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("infer %d: %v", i, err)
+		}
+		if !res.Output.Equal(before.Output) {
+			t.Fatalf("infer %d output corrupted by interleaved generation", i)
+		}
+	}
+}
+
+// TestSubmitAfterClose verifies shutdown semantics: submission to a closed
+// cluster fails fast, and already-returned handles do not hang.
+func TestSubmitAfterClose(t *testing.T) {
+	c, err := NewMem(model.Tiny(), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := embedTiny(t, c, 4)
+	if _, err := c.Infer(context.Background(), StrategyVoltage, x); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Submit(context.Background(), StrategyVoltage, x); err == nil {
+		t.Fatal("want error submitting to a closed cluster")
+	}
+	if _, err := c.Infer(context.Background(), StrategyVoltage, x); err == nil {
+		t.Fatal("want error from Infer on a closed cluster")
+	}
+}
+
+// TestScopedStatsSumToMeshTotals cross-checks the per-request attribution:
+// the scoped per-device stats of consecutive requests must sum to the
+// mesh's cumulative counters.
+func TestScopedStatsSumToMeshTotals(t *testing.T) {
+	c := newTiny(t, 2, Options{})
+	x := embedTiny(t, c, 8)
+	var sum [3]comm.Stats // k+1 devices
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		res, err := c.Infer(context.Background(), StrategyVoltage, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range sum {
+			sum[r] = sum[r].Add(res.PerDevice[r])
+		}
+	}
+	// The per-request scopes must account for every byte the mesh moved.
+	for r := 0; r < 3; r++ {
+		got := c.peers[r].Stats()
+		if got != sum[r] {
+			t.Fatalf("rank %d: mesh counters %+v, scoped sum %+v", r, got, sum[r])
+		}
+	}
+}

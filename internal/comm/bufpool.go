@@ -1,0 +1,56 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Message-buffer recycling for the in-memory transport. Steady-state serving
+// moves the same-sized activation blobs every layer of every request, so the
+// mesh draws payload copies from size-classed pools instead of allocating.
+//
+// Ownership protocol: MemPeer.Send copies the caller's payload into a pooled
+// buffer; Recv hands that buffer to the receiver, which then owns it
+// exclusively and MAY return it with ReleaseBuffer once the payload has been
+// decoded. Releasing is optional — a buffer that is never released is simply
+// garbage collected.
+
+// maxBufClass bounds the pooled size classes at 2^30 bytes; larger buffers
+// bypass the pool.
+const maxBufClass = 30
+
+var bufPools [maxBufClass + 1]sync.Pool
+
+// GetBuffer returns a length-n byte slice with unspecified contents, drawn
+// from the pool when a large-enough buffer is available.
+func GetBuffer(n int) []byte {
+	if n <= 0 {
+		return []byte{}
+	}
+	// Smallest class c with 1<<c >= n; every buffer stored in class c has
+	// capacity >= 1<<c, so any hit can hold n bytes.
+	c := bits.Len(uint(n - 1))
+	if c > maxBufClass {
+		return make([]byte, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// ReleaseBuffer recycles b's storage. The caller must not use b (or any
+// alias of its backing array) afterwards.
+func ReleaseBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	// Largest class c with 1<<c <= cap(b), preserving the invariant that
+	// class c only holds buffers of capacity >= 1<<c.
+	c := bits.Len(uint(cap(b))) - 1
+	if c > maxBufClass {
+		return
+	}
+	b = b[:cap(b)]
+	bufPools[c].Put(&b)
+}

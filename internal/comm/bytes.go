@@ -11,7 +11,7 @@ import (
 )
 
 // floatsToBytes copies a float32 slice into a fresh little-endian byte
-// slice (copied, because Send transfers ownership of its argument).
+// slice.
 func floatsToBytes(v []float32) []byte {
 	out := make([]byte, 4*len(v))
 	for i, f := range v {
@@ -41,54 +41,10 @@ func copyFloatBytes(dst []float32, payload []byte) {
 // every rank.
 //
 // When ring is true the ring all-gather is used; otherwise the naive
-// direct exchange.
+// direct exchange. This convenience wrapper allocates per call; the serving
+// hot path holds a long-lived Exchange instead.
 func AllGatherMatrix(ctx context.Context, p Peer, mine *tensor.Matrix, ranges []partition.Range, ring bool) (*tensor.Matrix, error) {
-	if len(ranges) != p.Size() {
-		return nil, fmt.Errorf("comm: %d ranges for %d peers", len(ranges), p.Size())
-	}
-	r := ranges[p.Rank()]
-	if mine.Rows() != r.Len() {
-		return nil, fmt.Errorf("comm: partition has %d rows, range %v wants %d", mine.Rows(), r, r.Len())
-	}
-	total := 0
-	cols := mine.Cols()
-	for _, rr := range ranges {
-		total += rr.Len()
-	}
-
-	gather := AllGather
-	if ring {
-		gather = RingAllGather
-	}
-	blobs, err := gather(ctx, p, tensor.Encode(nil, mine))
-	if err != nil {
-		return nil, err
-	}
-	out := tensor.New(total, cols)
-	for rank, blob := range blobs {
-		var part *tensor.Matrix
-		if rank == p.Rank() {
-			part = mine
-		} else {
-			decoded, _, err := tensor.Decode(blob)
-			if err != nil {
-				return nil, fmt.Errorf("comm: allgather decode from %d: %w", rank, err)
-			}
-			part = decoded
-		}
-		rr := ranges[rank]
-		if part.Rows() != rr.Len() || part.Cols() != cols {
-			return nil, fmt.Errorf("comm: partition from %d is %dx%d, range %v wants %dx%d",
-				rank, part.Rows(), part.Cols(), rr, rr.Len(), cols)
-		}
-		if rr.Empty() {
-			continue
-		}
-		if err := out.SetRowSlice(rr.From, part); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return NewExchange(nil).AllGatherMatrix(ctx, p, mine, ranges, ring)
 }
 
 // BroadcastMatrix sends root's matrix to every rank.

@@ -27,11 +27,14 @@ type Peer interface {
 	Rank() int
 	// Size returns the number of peers in the group.
 	Size() int
-	// Send delivers data to peer `to`. The slice is owned by the callee
-	// after Send returns.
+	// Send delivers data to peer `to`. The callee does not retain data
+	// after Send returns (it copies or fully transmits the payload first),
+	// so callers may reuse their encode buffers immediately.
 	Send(ctx context.Context, to int, data []byte) error
 	// Recv returns the next message from peer `from`, blocking until one
-	// arrives, the context is cancelled, or the peer is closed.
+	// arrives, the context is cancelled, or the peer is closed. The
+	// returned slice is owned exclusively by the caller, which may hand it
+	// back to the transport with ReleaseBuffer after decoding.
 	Recv(ctx context.Context, from int) ([]byte, error)
 	// Stats returns a snapshot of this peer's traffic counters.
 	Stats() Stats

@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"voltage/internal/netem"
+	"voltage/internal/partition"
+	"voltage/internal/tensor"
+)
+
+// gatherAll runs fn (an Exchange-based all-gather round) on every rank of a
+// fresh mesh and returns the per-rank results.
+func runAllGatherRound(t *testing.T, peers []*MemPeer, exs []*Exchange, parts []*tensor.Matrix, ranges []partition.Range, ring bool) []*tensor.Matrix {
+	t.Helper()
+	k := len(peers)
+	outs := make([]*tensor.Matrix, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			outs[r], errs[r] = exs[r].AllGatherMatrix(context.Background(), peers[r], parts[r], ranges, ring)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return outs
+}
+
+func TestExchangeAllGatherMatrixMatchesPlain(t *testing.T) {
+	for _, ring := range []bool{false, true} {
+		const k, n, cols = 3, 8, 4
+		peers, err := NewMemMesh(k, netem.Profile{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer peers[0].Close()
+		scheme, err := partition.Even(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges, err := scheme.Ranges(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := &tensor.MatrixPool{}
+		exs := make([]*Exchange, k)
+		for r := range exs {
+			exs[r] = NewExchange(pool)
+		}
+		// Two rounds with different values: the second reuses scratch
+		// buffers and pooled matrices from the first, and must still be
+		// exact.
+		for round := 0; round < 2; round++ {
+			full := tensor.New(n, cols)
+			for i := 0; i < n; i++ {
+				for j := 0; j < cols; j++ {
+					full.Set(i, j, float32(round*1000+i*cols+j))
+				}
+			}
+			parts := make([]*tensor.Matrix, k)
+			for r := 0; r < k; r++ {
+				part, err := full.RowSlice(ranges[r].From, ranges[r].To)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts[r] = part
+			}
+			outs := runAllGatherRound(t, peers, exs, parts, ranges, ring)
+			for r, out := range outs {
+				if !out.Equal(full) {
+					t.Fatalf("ring=%v round %d rank %d: assembled matrix differs", ring, round, r)
+				}
+				pool.Put(out)
+			}
+		}
+	}
+}
+
+func TestScopedPeerCountsOnlyScopeTraffic(t *testing.T) {
+	peers, err := NewMemMesh(2, netem.Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peers[0].Close()
+	ctx := context.Background()
+
+	// Pre-scope traffic lands on the base counters only.
+	if err := peers[0].Send(ctx, 1, []byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peers[1].Recv(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	s0 := Scoped(peers[0])
+	s1 := Scoped(peers[1])
+	if err := s0.Send(ctx, 1, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s1.Recv(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("payload %q", got)
+	}
+	if st := s0.Stats(); st.BytesSent != 3 || st.MsgsSent != 1 || st.BytesRecv != 0 {
+		t.Fatalf("sender scope %+v", st)
+	}
+	if st := s1.Stats(); st.BytesRecv != 3 || st.MsgsRecv != 1 || st.BytesSent != 0 {
+		t.Fatalf("receiver scope %+v", st)
+	}
+	// The base peer still accumulates everything, warmup included.
+	if st := peers[0].Stats(); st.BytesSent != 9 || st.MsgsSent != 2 {
+		t.Fatalf("base stats %+v", st)
+	}
+}
+
+func TestMemSendKeepsCallerBuffer(t *testing.T) {
+	// The Peer contract: Send does not retain the caller's slice, so a
+	// scratch buffer may be rewritten immediately after Send returns.
+	peers, err := NewMemMesh(2, netem.Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peers[0].Close()
+	ctx := context.Background()
+	scratch := []byte{1, 2, 3}
+	if err := peers[0].Send(ctx, 1, scratch); err != nil {
+		t.Fatal(err)
+	}
+	scratch[0], scratch[1], scratch[2] = 9, 9, 9 // caller reuses the buffer
+	got, err := peers[1].Recv(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("receiver saw the caller's overwrite: %v", got)
+	}
+	ReleaseBuffer(got)
+}

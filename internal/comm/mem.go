@@ -82,19 +82,27 @@ func (p *MemPeer) Size() int { return len(p.nics) }
 // Send implements Peer. The emulated transfer reserves the sender's egress
 // and the receiver's ingress; Send itself returns as soon as the message is
 // queued (the NIC reservation, not the caller, carries the delay).
+//
+// The payload is copied into a pooled buffer, so the caller keeps ownership
+// of data (per the Peer contract) and the receiver gets an exclusively
+// owned slice it may ReleaseBuffer.
 func (p *MemPeer) Send(ctx context.Context, to int, data []byte) error {
 	if to < 0 || to >= p.Size() || to == p.rank {
 		return fmt.Errorf("comm: send to invalid rank %d from %d", to, p.rank)
 	}
 	end := netem.Transfer(time.Now(), p.nics[p.rank], p.nics[to], len(data))
-	msg := memMessage{data: data, readyAt: end.Add(p.lat)}
+	buf := GetBuffer(len(data))
+	copy(buf, data)
+	msg := memMessage{data: buf, readyAt: end.Add(p.lat)}
 	select {
 	case p.links[p.rank][to] <- msg:
 		p.stats.sent(len(data))
 		return nil
 	case <-p.done:
+		ReleaseBuffer(buf)
 		return ErrClosed
 	case <-ctx.Done():
+		ReleaseBuffer(buf)
 		return ctx.Err()
 	}
 }
@@ -108,6 +116,7 @@ func (p *MemPeer) Recv(ctx context.Context, from int) ([]byte, error) {
 	select {
 	case msg := <-p.links[from][p.rank]:
 		if err := netem.SleepUntil(ctx, msg.readyAt); err != nil {
+			ReleaseBuffer(msg.data)
 			return nil, err
 		}
 		p.stats.received(len(msg.data))

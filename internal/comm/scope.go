@@ -1,0 +1,52 @@
+package comm
+
+import "context"
+
+// ScopedPeer wraps a Peer and counts only the traffic that flows through
+// the wrapper. The serving runtime opens one scope per (request, device) and
+// reads per-request comm.Stats straight off it — no more diffing the mesh's
+// cumulative counters, which breaks down as soon as two requests overlap.
+//
+// A Subgroup built over a ScopedPeer delegates its transfers to the scope,
+// so collective traffic inside a request is attributed to that request.
+type ScopedPeer struct {
+	base  Peer
+	stats counters
+}
+
+var _ Peer = (*ScopedPeer)(nil)
+
+// Scoped returns a fresh stat scope over base. The base peer's own counters
+// keep accumulating; the scope starts at zero.
+func Scoped(base Peer) *ScopedPeer { return &ScopedPeer{base: base} }
+
+// Rank implements Peer.
+func (s *ScopedPeer) Rank() int { return s.base.Rank() }
+
+// Size implements Peer.
+func (s *ScopedPeer) Size() int { return s.base.Size() }
+
+// Send implements Peer, counting successful sends into the scope.
+func (s *ScopedPeer) Send(ctx context.Context, to int, data []byte) error {
+	if err := s.base.Send(ctx, to, data); err != nil {
+		return err
+	}
+	s.stats.sent(len(data))
+	return nil
+}
+
+// Recv implements Peer, counting successful receives into the scope.
+func (s *ScopedPeer) Recv(ctx context.Context, from int) ([]byte, error) {
+	blob, err := s.base.Recv(ctx, from)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.received(len(blob))
+	return blob, nil
+}
+
+// Stats returns the traffic counted through this scope only.
+func (s *ScopedPeer) Stats() Stats { return s.stats.snapshot() }
+
+// Close implements Peer by closing the underlying peer.
+func (s *ScopedPeer) Close() error { return s.base.Close() }

@@ -49,30 +49,94 @@ type Prediction struct {
 	Run    *cluster.Result
 }
 
-// ClassifyTokens serves one text-classification request: embed on the
-// terminal, run the transformer stack distributed, classify the output.
-func (e *Engine) ClassifyTokens(ctx context.Context, strategy cluster.Strategy, ids []int) (*Prediction, error) {
+// Serve starts the engine's persistent serving runtime. It is idempotent
+// and implied by the first request; call it eagerly to pay the goroutine
+// start-up before the first request arrives.
+func (e *Engine) Serve() { e.cluster.Serve() }
+
+// Submit admits one raw inference request (pre-embedded features) without
+// blocking; the returned handle resolves when the distributed run
+// completes. Overlapping submissions are sequenced by the cluster's
+// dispatcher, pipelining the terminal's I/O for one request with the
+// workers' compute for another.
+func (e *Engine) Submit(ctx context.Context, strategy cluster.Strategy, x *tensor.Matrix) (*cluster.Pending, error) {
+	return e.cluster.Submit(ctx, strategy, x)
+}
+
+// PendingPrediction is an admitted classification request; Wait performs
+// the terminal-side post-processing once the distributed run resolves.
+type PendingPrediction struct {
+	eng  *Engine
+	pend *cluster.Pending
+}
+
+// ID returns the underlying request id.
+func (p *PendingPrediction) ID() uint64 { return p.pend.ID() }
+
+// Done is closed when the distributed run has completed.
+func (p *PendingPrediction) Done() <-chan struct{} { return p.pend.Done() }
+
+// Wait blocks until the request completes, then classifies the output.
+func (p *PendingPrediction) Wait(ctx context.Context) (*Prediction, error) {
+	res, err := p.pend.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return p.eng.postprocess(res)
+}
+
+// SubmitTokens admits one text-classification request without blocking:
+// embedding runs on the terminal now, the distributed run is sequenced by
+// the dispatcher, and Wait post-processes.
+func (e *Engine) SubmitTokens(ctx context.Context, strategy cluster.Strategy, ids []int) (*PendingPrediction, error) {
 	x, err := e.terminal.Embed.EmbedTokens(ids)
 	if err != nil {
 		return nil, fmt.Errorf("core: pre-process: %w", err)
 	}
-	return e.classify(ctx, strategy, x)
+	pend, err := e.cluster.Submit(ctx, strategy, x)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingPrediction{eng: e, pend: pend}, nil
 }
 
-// ClassifyImage serves one image-classification request (ViT path).
-func (e *Engine) ClassifyImage(ctx context.Context, strategy cluster.Strategy, im *model.Image) (*Prediction, error) {
+// SubmitImage admits one image-classification request (ViT path) without
+// blocking.
+func (e *Engine) SubmitImage(ctx context.Context, strategy cluster.Strategy, im *model.Image) (*PendingPrediction, error) {
 	x, err := e.terminal.Embed.EmbedImage(im)
 	if err != nil {
 		return nil, fmt.Errorf("core: pre-process: %w", err)
 	}
-	return e.classify(ctx, strategy, x)
-}
-
-func (e *Engine) classify(ctx context.Context, strategy cluster.Strategy, x *tensor.Matrix) (*Prediction, error) {
-	res, err := e.cluster.Infer(ctx, strategy, x)
+	pend, err := e.cluster.Submit(ctx, strategy, x)
 	if err != nil {
 		return nil, err
 	}
+	return &PendingPrediction{eng: e, pend: pend}, nil
+}
+
+// ClassifyTokens serves one text-classification request: embed on the
+// terminal, run the transformer stack distributed, classify the output.
+// It is a blocking wrapper over SubmitTokens + Wait.
+func (e *Engine) ClassifyTokens(ctx context.Context, strategy cluster.Strategy, ids []int) (*Prediction, error) {
+	pend, err := e.SubmitTokens(ctx, strategy, ids)
+	if err != nil {
+		return nil, err
+	}
+	return pend.Wait(ctx)
+}
+
+// ClassifyImage serves one image-classification request (ViT path).
+func (e *Engine) ClassifyImage(ctx context.Context, strategy cluster.Strategy, im *model.Image) (*Prediction, error) {
+	pend, err := e.SubmitImage(ctx, strategy, im)
+	if err != nil {
+		return nil, err
+	}
+	return pend.Wait(ctx)
+}
+
+// postprocess classifies a completed run's output. The classifier head is
+// read-only, so concurrent Waits may post-process in parallel.
+func (e *Engine) postprocess(res *cluster.Result) (*Prediction, error) {
 	logits, err := e.terminal.Classifier.Logits(res.Output)
 	if err != nil {
 		return nil, fmt.Errorf("core: post-process: %w", err)

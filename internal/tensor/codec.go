@@ -16,12 +16,24 @@ import (
 func EncodedSize(rows, cols int) int { return 8 + 4*rows*cols }
 
 // Encode appends the wire representation of m to buf and returns the
-// extended slice.
+// extended slice. The slice grows at most once, so callers that keep a
+// scratch buffer across messages (comm.Exchange) amortize the allocation
+// away entirely.
 func Encode(buf []byte, m *Matrix) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.rows))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.cols))
+	need := EncodedSize(m.rows, m.cols)
+	off := len(buf)
+	if cap(buf)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+need]
+	binary.LittleEndian.PutUint32(buf[off:], uint32(m.rows))
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(m.cols))
+	o := off + 8
 	for _, v := range m.data {
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		binary.LittleEndian.PutUint32(buf[o:], math.Float32bits(v))
+		o += 4
 	}
 	return buf
 }
@@ -29,6 +41,13 @@ func Encode(buf []byte, m *Matrix) []byte {
 // Decode parses one matrix from buf, returning the matrix and the number of
 // bytes consumed.
 func Decode(buf []byte) (*Matrix, int, error) {
+	return DecodePooled(nil, buf)
+}
+
+// DecodePooled is Decode with the output matrix drawn from pool (plain
+// allocation when pool is nil). Every element is overwritten, so recycled
+// storage never leaks stale values.
+func DecodePooled(pool *MatrixPool, buf []byte) (*Matrix, int, error) {
 	if len(buf) < 8 {
 		return nil, 0, fmt.Errorf("tensor: decode: short header (%d bytes)", len(buf))
 	}
@@ -43,7 +62,7 @@ func Decode(buf []byte) (*Matrix, int, error) {
 	if len(buf) < need {
 		return nil, 0, fmt.Errorf("tensor: decode: need %d bytes, have %d", need, len(buf))
 	}
-	m := New(rows, cols)
+	m := pool.Get(rows, cols)
 	off := 8
 	for i := range m.data {
 		m.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository CI gate: vet, build, full test suite, then the concurrency
+# suites under the race detector (the serving runtime's correctness claims —
+# overlapping requests, per-request stat scopes, pooled buffers — only mean
+# something raced).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/cluster/... ./internal/comm/..."
+go test -race ./internal/cluster/... ./internal/comm/...
+
+echo "CI OK"

@@ -18,6 +18,11 @@
 //	defer engine.Close()
 //	pred, err := engine.ClassifyTokens(ctx, voltage.StrategyVoltage, tokens)
 //
+// The engine is a persistent serving runtime: Engine.SubmitTokens admits
+// requests without blocking and overlapping requests are pipelined through
+// the device mesh (see the "Serving runtime" section of DESIGN.md);
+// ClassifyTokens is the blocking wrapper.
+//
 // The facade re-exports the stable surface of the internal packages; the
 // examples/ directory shows complete programs for text classification,
 // image classification, autoregressive generation and bandwidth studies.
@@ -41,6 +46,11 @@ type (
 	Engine = core.Engine
 	// Prediction is a classification result with its run report.
 	Prediction = core.Prediction
+	// PendingRun is an admitted (non-blocking) raw inference request.
+	PendingRun = cluster.Pending
+	// PendingPrediction is an admitted classification request; Wait
+	// post-processes once the distributed run resolves.
+	PendingPrediction = core.PendingPrediction
 	// Generation is an autoregressive decoding result.
 	Generation = core.Generation
 	// Config describes a transformer architecture.
