@@ -55,6 +55,7 @@ func run(args []string, w io.Writer) error {
 	requests := fs.Int("requests", 1, "number of inference requests (terminal only)")
 	bandwidth := fs.Float64("bandwidth", 0, "egress shaping in Mbps (0 = unshaped)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "mesh formation + serving budget")
+	opTimeout := fs.Duration("op-timeout", 0, "per-message watchdog deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,10 +79,14 @@ func run(args []string, w io.Writer) error {
 	defer cancel()
 
 	profile := netem.Profile{BandwidthMbps: *bandwidth}
-	peer, err := comm.NewTCPMesh(ctx, *rank, addrs, profile)
+	mesh, err := comm.NewTCPMesh(ctx, *rank, addrs, profile)
 	if err != nil {
 		return err
 	}
+	// Every payload crossing the mesh rides in a checksummed frame, and an
+	// optional watchdog turns silent drops into typed comm.ErrTimeout. All
+	// ranks must agree on the framing, so it is unconditional.
+	peer := comm.WithOpTimeout(comm.NewFramed(mesh), *opTimeout)
 	defer peer.Close()
 
 	k := len(addrs) - 1

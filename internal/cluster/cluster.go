@@ -106,6 +106,37 @@ type Options struct {
 	// every activation is freshly allocated (the pre-serving behaviour;
 	// kept for A/B benchmarking).
 	NoPooling bool
+
+	// Fault tolerance (see DESIGN.md "Fault tolerance"). All knobs default
+	// off, preserving the fail-fast behaviour of earlier revisions.
+
+	// RequestTimeout bounds each request (each attempt, when retries are
+	// enabled) end-to-end: a request that cannot finish in time — a dropped
+	// message, a stalled device — resolves as comm.ErrTimeout instead of
+	// hanging forever. Zero disables the deadline.
+	RequestTimeout time.Duration
+	// OpTimeout is the transport watchdog: every Send/Recv on the mesh is
+	// individually bounded (comm.WithOpTimeout), so a single lost message
+	// inside a collective resolves as an attributed comm.ErrTimeout. Zero
+	// disables per-op deadlines.
+	OpTimeout time.Duration
+	// MaxRetries enables degraded-mode serving: a request that fails with a
+	// retryable fault (comm.ErrInjected/ErrTimeout/ErrCorrupt) is re-
+	// dispatched up to MaxRetries more times. The blamed rank is marked
+	// unhealthy and the retry re-partitions the positions over the
+	// surviving workers (comm.NewSubgroup + a fresh partition scheme); when
+	// no worker survives, the terminal computes the request locally. Zero
+	// disables retries and supervision entirely.
+	MaxRetries int
+	// ProbeAfter is the probation window: an unhealthy rank is offered one
+	// probing request after this much time, recovering to healthy on
+	// success. Zero keeps failed ranks excluded until the cluster restarts.
+	ProbeAfter time.Duration
+	// WrapTransport, when non-nil, wraps each device's raw mesh peer before
+	// the integrity-checking frame layer is applied — the fault-injection
+	// hook used by the chaos tests (comm.FlakyPeer). Rank k is the
+	// terminal.
+	WrapTransport func(rank int, p comm.Peer) comm.Peer
 }
 
 // Cluster is an in-process emulation of a terminal device plus K workers.
@@ -116,11 +147,13 @@ type Options struct {
 type Cluster struct {
 	cfg    model.Config
 	k      int
-	peers  []*comm.MemPeer // ranks 0..k-1 workers, rank k terminal
+	mesh   []*comm.MemPeer // raw transport; ranks 0..k-1 workers, rank k terminal
+	peers  []comm.Peer     // mesh wrapped with fault injection, framing, watchdog
 	models []*model.Model
 	shards [][]*tparallel.ShardedLayer
 	scheme *partition.Scheme
 	opts   Options
+	health *healthTracker
 
 	// Serving runtime state.
 	pool        *tensor.MatrixPool // nil when Options.NoPooling
@@ -162,9 +195,26 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 	if opts.HeteroDeviceFlops != nil && len(opts.HeteroDeviceFlops) != k {
 		return nil, fmt.Errorf("cluster: %d per-device rates for %d workers", len(opts.HeteroDeviceFlops), k)
 	}
-	peers, err := comm.NewMemMesh(k+1, opts.Profile)
+	if opts.MaxRetries < 0 {
+		return nil, fmt.Errorf("cluster: negative MaxRetries %d", opts.MaxRetries)
+	}
+	mesh, err := comm.NewMemMesh(k+1, opts.Profile)
 	if err != nil {
 		return nil, err
+	}
+	// Every payload crossing the mesh is integrity-checked: fault injection
+	// (when configured) sits between the raw transport and the frame layer,
+	// so injected corruption is caught by the receiver's CRC; the per-op
+	// watchdog wraps outermost so even a framed message that never arrives
+	// resolves as a typed timeout.
+	peers := make([]comm.Peer, k+1)
+	for r := range peers {
+		var p comm.Peer = mesh[r]
+		if opts.WrapTransport != nil {
+			p = opts.WrapTransport(r, p)
+		}
+		p = comm.NewFramed(p)
+		peers[r] = comm.WithOpTimeout(p, opts.OpTimeout)
 	}
 	// Every worker materializes the same weights from the shared seed —
 	// Voltage replicates the model instead of shipping weights.
@@ -185,9 +235,10 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 		shards[r] = sh
 	}
 	c := &Cluster{
-		cfg: cfg, k: k, peers: peers,
+		cfg: cfg, k: k, mesh: mesh, peers: peers,
 		models: models, shards: shards,
 		scheme: scheme, opts: opts,
+		health:    newHealthTracker(k, opts.ProbeAfter),
 		queue:     make(chan *request, queueDepth),
 		collectCh: make(chan *request, inflightDepth),
 		admitCh:   make([]chan *request, k),
@@ -216,14 +267,17 @@ func (c *Cluster) Model(r int) *model.Model { return c.models[r] }
 // sweep).
 func (c *Cluster) SetBandwidth(mbps float64) {
 	for r := 0; r <= c.k; r++ {
-		c.peers[0].NIC(r).SetRate(netem.Mbps(mbps))
+		c.mesh[0].NIC(r).SetRate(netem.Mbps(mbps))
 	}
 }
 
-// Close stops the serving runtime and shuts the mesh down.
+// Close stops the serving runtime and shuts the mesh down. Every wrapped
+// peer is closed so stalled fault-injection receives unblock too.
 func (c *Cluster) Close() {
 	c.serveCancel()
-	_ = c.peers[0].Close()
+	for _, p := range c.peers {
+		_ = p.Close()
+	}
 }
 
 // Result reports one distributed inference.
@@ -239,8 +293,20 @@ type Result struct {
 	// PerDevice holds each worker's traffic during this inference
 	// (index = worker rank; the last entry is the terminal).
 	PerDevice []comm.Stats
-	// Strategy echoes the strategy used.
+	// Strategy echoes the strategy requested. A degraded retry always
+	// executes Voltage's position-wise partition over the survivors (any
+	// contiguous re-slice of positions is a valid plan), regardless of the
+	// requested strategy.
 	Strategy Strategy
+	// Attempts counts dispatches of this request: 1 is a clean first-try
+	// success, more means fault-tolerant retries fired.
+	Attempts int
+	// Degraded reports that the final attempt ran on fewer than K workers
+	// (or, with an empty Live set, on the terminal alone).
+	Degraded bool
+	// Live lists the worker ranks that served the final attempt. Nil means
+	// the full cluster.
+	Live []int
 }
 
 // TotalBytesSent sums payload bytes sent by the workers (excluding the
@@ -267,12 +333,23 @@ func (c *Cluster) Infer(ctx context.Context, strategy Strategy, x *tensor.Matrix
 	return pend.Wait(ctx)
 }
 
-// collectPartitions receives one final-layer partition from every worker
-// and stacks them in rank order, verifying full coverage of n rows.
-func (c *Cluster) collectPartitions(ctx context.Context, p comm.Peer, ex *comm.Exchange, n int) (*tensor.Matrix, error) {
+// allRanks returns the full worker rank list [0, k).
+func (c *Cluster) allRanks() []int {
+	ranks := make([]int, c.k)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return ranks
+}
+
+// collectPartitions receives one final-layer partition from each of the
+// given worker ranks and stacks them in list order, verifying full
+// coverage of n rows. A degraded request passes its survivor list; the
+// healthy path passes all ranks.
+func (c *Cluster) collectPartitions(ctx context.Context, p comm.Peer, ex *comm.Exchange, ranks []int, n int) (*tensor.Matrix, error) {
 	pool := ex.Pool()
-	parts := make([]*tensor.Matrix, c.k)
-	for r := 0; r < c.k; r++ {
+	parts := make([]*tensor.Matrix, len(ranks))
+	for i, r := range ranks {
 		got, err := p.Recv(ctx, r)
 		if err != nil {
 			return nil, err
@@ -282,7 +359,7 @@ func (c *Cluster) collectPartitions(ctx context.Context, p comm.Peer, ex *comm.E
 			return nil, err
 		}
 		comm.ReleaseBuffer(got)
-		parts[r] = part
+		parts[i] = part
 	}
 	out, err := tensor.ConcatRows(parts...)
 	if err != nil {
@@ -311,7 +388,7 @@ func (c *Cluster) rebalance(ctx context.Context, group comm.Peer, tracker *balan
 	if err != nil {
 		return nil, err
 	}
-	times := make([]float64, c.k)
+	times := make([]float64, group.Size())
 	for r, b := range blobs {
 		times[r] = balance.DecodeObservation(b)
 	}
@@ -350,13 +427,10 @@ func (c *Cluster) paceRank(ctx context.Context, rank int, start time.Time, flops
 	return netem.SleepUntil(ctx, start.Add(target))
 }
 
-// workerGroup returns the worker-only collective group over p (a worker's
-// per-request stat scope, so collective traffic is attributed to the
-// request).
-func (c *Cluster) workerGroup(p comm.Peer) (comm.Peer, error) {
-	members := make([]int, c.k)
-	for i := range members {
-		members[i] = i
-	}
+// workerGroup returns the collective group over p restricted to the given
+// worker ranks (p is a worker's per-request stat scope, so collective
+// traffic is attributed to the request). Degraded requests pass their
+// survivor list.
+func (c *Cluster) workerGroup(p comm.Peer, members []int) (comm.Peer, error) {
 	return comm.NewSubgroup(p, members)
 }

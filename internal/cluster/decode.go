@@ -120,7 +120,7 @@ func (c *Cluster) decodeTerminal(ctx context.Context, p comm.Peer, ex *comm.Exch
 			return err
 		}
 	}
-	out, err := c.collectPartitions(ctx, p, ex, x.Rows())
+	out, err := c.collectPartitions(ctx, p, ex, c.allRanks(), x.Rows())
 	if err != nil {
 		shutdown()
 		return err
@@ -198,7 +198,7 @@ func (c *Cluster) decodeWorker(ctx context.Context, p comm.Peer, ex *comm.Exchan
 	if err != nil {
 		return err
 	}
-	group, err := c.workerGroup(p)
+	group, err := c.workerGroup(p, c.allRanks())
 	if err != nil {
 		return err
 	}

@@ -51,10 +51,10 @@ func runnerFor(s Strategy) (strategyRunner, error) {
 	}
 }
 
-// broadcastInput ships the request's input features to the first n workers.
-func broadcastInput(ctx context.Context, p comm.Peer, ex *comm.Exchange, x *tensor.Matrix, n int) error {
+// broadcastInput ships the request's input features to the given workers.
+func broadcastInput(ctx context.Context, p comm.Peer, ex *comm.Exchange, x *tensor.Matrix, ranks []int) error {
 	blob := ex.Encode(x)
-	for r := 0; r < n; r++ {
+	for _, r := range ranks {
 		if err := p.Send(ctx, r, blob); err != nil {
 			return err
 		}
@@ -86,7 +86,7 @@ func (singleRunner) name() string    { return "single" }
 func (singleRunner) exclusive() bool { return false }
 
 func (singleRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
-	return broadcastInput(ctx, p, ex, req.x, 1)
+	return broadcastInput(ctx, p, ex, req.x, []int{0})
 }
 
 func (singleRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
@@ -149,15 +149,15 @@ func (voltageRunner) name() string    { return "voltage" }
 func (voltageRunner) exclusive() bool { return false }
 
 func (voltageRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
-	return broadcastInput(ctx, p, ex, req.x, c.k)
+	return broadcastInput(ctx, p, ex, req.x, req.liveRanks(c))
 }
 
 func (voltageRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
-	// Collect final-layer partitions from every worker (Algorithm 2,
+	// Collect final-layer partitions from every live worker (Algorithm 2,
 	// line 8) and assemble by rank order. Assembly is driven by the
 	// received row counts rather than the static scheme so dynamic
 	// per-layer re-balancing needs no extra coordination.
-	out, err := c.collectPartitions(ctx, p, ex, req.x.Rows())
+	out, err := c.collectPartitions(ctx, p, ex, req.liveRanks(c), req.x.Rows())
 	if err != nil {
 		return err
 	}
@@ -165,8 +165,14 @@ func (voltageRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *c
 	return nil
 }
 
-// worker is Algorithm 2, lines 4–15, for one device.
+// worker is Algorithm 2, lines 4–15, for one device. Ranks outside the
+// request's live set (excluded from a degraded attempt) idle through it.
 func (voltageRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
+	me := req.liveIndex(c, rank)
+	if me < 0 {
+		return nil // idle: this rank is excluded from the degraded attempt
+	}
+	live := req.liveRanks(c)
 	term := c.terminalRank()
 	blob, err := p.Recv(ctx, term)
 	if err != nil {
@@ -178,28 +184,28 @@ func (voltageRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *co
 		return err
 	}
 	comm.ReleaseBuffer(blob)
-	ranges, err := c.scheme.Ranges(x.Rows())
+	ranges, err := req.partitionScheme(c).Ranges(x.Rows())
 	if err != nil {
 		return err
 	}
-	group, err := c.workerGroup(p)
+	group, err := c.workerGroup(p, live)
 	if err != nil {
 		return err
 	}
 	var tracker *balance.Tracker
 	if c.opts.DynamicScheme {
-		if tracker, err = balance.NewTracker(c.k, 0); err != nil {
+		if tracker, err = balance.NewTracker(len(live), 0); err != nil {
 			return err
 		}
 	}
 	m := c.models[rank]
 	for li, layer := range m.Layers {
 		start := time.Now()
-		part, _, err := layer.ForwardPartition(x, ranges[rank])
+		part, _, err := layer.ForwardPartition(x, ranges[me])
 		if err != nil {
 			return fmt.Errorf("layer %d: %w", li, err)
 		}
-		if pl := ranges[rank].Len(); pl > 0 {
+		if pl := ranges[me].Len(); pl > 0 {
 			cost, err := layer.Cost(x.Rows(), pl)
 			if err != nil {
 				return err
@@ -238,7 +244,7 @@ func (voltageRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *co
 		pool.Put(x)
 		x = next
 		if tracker != nil {
-			ranges, err = c.rebalance(ctx, group, tracker, ranges[rank], elapsed, x.Rows())
+			ranges, err = c.rebalance(ctx, group, tracker, ranges[me], elapsed, x.Rows())
 			if err != nil {
 				return fmt.Errorf("layer %d rebalance: %w", li, err)
 			}
@@ -256,7 +262,7 @@ func (tpRunner) name() string    { return "tensor-parallel" }
 func (tpRunner) exclusive() bool { return false }
 
 func (tpRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
-	return broadcastInput(ctx, p, ex, req.x, c.k)
+	return broadcastInput(ctx, p, ex, req.x, c.allRanks())
 }
 
 func (tpRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
@@ -280,7 +286,7 @@ func (tpRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Ex
 		return err
 	}
 	comm.ReleaseBuffer(blob)
-	group, err := c.workerGroup(p)
+	group, err := c.workerGroup(p, c.allRanks())
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"voltage/internal/comm"
+	"voltage/internal/partition"
 	"voltage/internal/tensor"
 )
 
@@ -62,6 +63,18 @@ type request struct {
 	steps  int              // generate
 	xs     []*tensor.Matrix // pipeline
 
+	// Fault-tolerance state (see retry.go). live lists the worker ranks
+	// serving this request (nil = all k); scheme overrides the cluster's
+	// partition scheme for degraded attempts re-sliced over the survivors.
+	// fenced requests own the mesh exclusively (like exclusive runners), so
+	// a failed attempt's residual traffic can be flushed before the next
+	// request enters — supervision sets it on every attempt.
+	live     []int
+	scheme   *partition.Scheme
+	attempts int
+	degraded bool
+	fenced   bool
+
 	// ctx governs the whole request; cancel releases every role on the
 	// first error so no goroutine blocks on a dead request.
 	ctx    context.Context
@@ -89,6 +102,52 @@ func (req *request) finish(err error) {
 		close(req.done)
 		req.cancel()
 	})
+}
+
+// liveRanks returns the worker ranks serving this request.
+func (req *request) liveRanks(c *Cluster) []int {
+	if req.live == nil {
+		return c.allRanks()
+	}
+	return req.live
+}
+
+// liveIndex returns rank's position in the request's live set, or -1 when
+// the rank sits this request out (it is excluded from a degraded attempt).
+func (req *request) liveIndex(c *Cluster, rank int) int {
+	if req.live == nil {
+		return rank
+	}
+	for i, r := range req.live {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// partitionScheme returns the scheme partitioning this request's positions
+// (the cluster's, unless a degraded attempt re-sliced over survivors).
+func (req *request) partitionScheme(c *Cluster) *partition.Scheme {
+	if req.scheme != nil {
+		return req.scheme
+	}
+	return c.scheme
+}
+
+// abort releases the other roles of a failed request. Fenced attempts
+// whose every op carries a watchdog skip the immediate cancel: each
+// blocked role then resolves within OpTimeout with an attributed timeout
+// naming the rank it waited on — the evidence blame voting needs. An
+// early cancel would collapse those votes into anonymous context.Canceled
+// knock-ons, letting whichever watchdog happened to fire first (possibly
+// the faulty rank's own, blaming an innocent peer) decide the vote alone.
+// finish still cancels once the request resolves, so nothing outlives it.
+func (c *Cluster) abort(req *request) {
+	if req.fenced && c.opts.OpTimeout > 0 {
+		return
+	}
+	req.cancel()
 }
 
 // Pending is a submitted request's handle.
@@ -126,12 +185,25 @@ func (p *Pending) Wait(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	req := p.req
+	attempts := req.attempts
+	if attempts == 0 {
+		attempts = 1
+	}
+	// A nil live set means "full cluster"; an empty one means the terminal
+	// served the request alone, so the distinction must survive the copy.
+	var live []int
+	if req.live != nil {
+		live = append(make([]int, 0, len(req.live)), req.live...)
+	}
 	return &Result{
 		ID:        req.id,
 		Output:    req.output,
 		Latency:   req.latency,
 		PerDevice: append([]comm.Stats(nil), req.perDevice...),
 		Strategy:  req.strategy,
+		Attempts:  attempts,
+		Degraded:  req.degraded,
+		Live:      live,
 	}, nil
 }
 
@@ -160,6 +232,9 @@ func (c *Cluster) Submit(ctx context.Context, strategy Strategy, x *tensor.Matri
 	if x == nil {
 		return nil, fmt.Errorf("cluster: nil input")
 	}
+	if c.opts.MaxRetries > 0 {
+		return c.submitSupervised(ctx, strategy, x)
+	}
 	return c.submit(ctx, &request{strategy: strategy, runner: runner, x: x})
 }
 
@@ -170,7 +245,17 @@ func (c *Cluster) submit(ctx context.Context, req *request) (*Pending, error) {
 	req.done = make(chan struct{})
 	req.errs = make([]error, c.k+1)
 	req.perDevice = make([]comm.Stats, c.k+1)
-	req.ctx, req.cancel = context.WithCancel(ctx)
+	if d := c.opts.RequestTimeout; d > 0 {
+		// The deadline bounds one attempt end to end; a drop anywhere in the
+		// mesh resolves as comm.ErrTimeout (normalized in collect) instead of
+		// hanging the serving loops.
+		deadlineCtx, deadlineCancel := context.WithTimeout(ctx, d)
+		req.ctx, req.cancel = context.WithCancel(deadlineCtx)
+		inner := req.cancel
+		req.cancel = func() { inner(); deadlineCancel() }
+	} else {
+		req.ctx, req.cancel = context.WithCancel(ctx)
+	}
 	req.workers.Add(c.k)
 	// Deterministic fast-fail: a select with a ready queue slot could
 	// otherwise accept a request after Close.
@@ -223,7 +308,7 @@ func (c *Cluster) dispatch(req *request, ex *comm.Exchange) bool {
 		req.start = time.Now()
 		if err := req.runner.admit(req.ctx, c, scope, ex, req); err != nil {
 			req.errs[c.k] = err
-			req.cancel() // unblock workers waiting on input
+			c.abort(req) // unblock workers waiting on input
 		}
 		req.admitStats = scope.Stats()
 	}
@@ -233,11 +318,18 @@ func (c *Cluster) dispatch(req *request, ex *comm.Exchange) bool {
 		req.finish(errServingStopped)
 		return false
 	}
-	if req.runner.exclusive() {
+	if req.runner.exclusive() || req.fenced {
 		// The exclusive terminal protocol interleaves sends and receives,
-		// so nothing else may enter the mesh until it resolves.
+		// and fenced (fault-tolerant) attempts need failure isolation, so
+		// nothing else may enter the mesh until the request resolves.
 		select {
 		case <-req.done:
+			if req.err != nil {
+				// An aborted protocol can leave undelivered messages queued
+				// on the FIFO links; flush so the next request's streams
+				// start aligned.
+				c.mesh[0].Flush()
+			}
 		case <-c.serveCtx.Done():
 			return false
 		}
@@ -269,7 +361,7 @@ func (c *Cluster) workerLoop(rank int) {
 			req.errs[rank] = err
 			req.perDevice[rank] = scope.Stats()
 			if err != nil {
-				req.cancel() // release the other roles
+				c.abort(req) // release the other roles
 			}
 			req.workers.Done()
 		case <-c.serveCtx.Done():
@@ -318,19 +410,53 @@ func (c *Cluster) collect(req *request, ex *comm.Exchange) {
 	err := req.runner.collect(req.ctx, c, scope, ex, req)
 	req.latency = time.Since(req.start)
 	if err != nil {
-		req.cancel() // release workers blocked on a failed terminal
+		c.abort(req) // release workers blocked on a failed terminal
 		if req.errs[c.k] == nil {
 			req.errs[c.k] = err
 		}
 	}
 	req.workers.Wait()
 	req.perDevice[c.k] = req.admitStats.Add(scope.Stats())
+	req.finish(c.rootCause(req))
+}
+
+// rootCause elects the request's reported error from its per-role slots.
+// Attributed errors (comm.RemoteError names a culprit rank) outrank plain
+// failures, which outrank deadline expiries, which outrank the secondary
+// context.Canceled knock-ons that every other role resolves with once the
+// request context is torn down. A deadline expiry from the per-request
+// watchdog is normalized to the typed comm.ErrTimeout so callers (and the
+// retry supervisor) can match it with errors.Is.
+func (c *Cluster) rootCause(req *request) error {
 	var first error
+	rank := -1
 	for r, e := range req.errs {
-		if e != nil {
-			first = fmt.Errorf("cluster: rank %d (%s): %w", r, req.runner.name(), e)
-			break
+		if e == nil {
+			continue
+		}
+		if first == nil || causePriority(e) > causePriority(first) {
+			first, rank = e, r
 		}
 	}
-	req.finish(first)
+	if first == nil {
+		return nil
+	}
+	if errors.Is(first, context.DeadlineExceeded) && !errors.Is(first, comm.ErrTimeout) {
+		first = fmt.Errorf("%w: %w", comm.ErrTimeout, first)
+	}
+	return fmt.Errorf("cluster: rank %d (%s): %w", rank, req.runner.name(), first)
+}
+
+// causePriority ranks candidate root causes; higher wins.
+func causePriority(err error) int {
+	if _, ok := comm.RemoteRank(err); ok {
+		return 3
+	}
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return 2
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return 1
+	}
+	return 0 // context.Canceled — a knock-on from the shared request cancel
 }

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -21,6 +22,43 @@ import (
 //
 // All collectives are SPMD: every rank must call the same operation in the
 // same order with compatible arguments.
+//
+// Deadlines: collectives inherit per-step watchdog deadlines from a
+// WithOpTimeout-wrapped peer — every individual exchange of an All-Gather
+// or ring All-Reduce is then bounded, so one dropped message resolves as an
+// attributed ErrTimeout instead of hanging the whole collective. When a
+// collective fails on several links at once (one dead rank cancels the
+// request, which aborts the healthy links too), the error returned is the
+// most diagnostic one: rank-attributed failures beat plain transport
+// errors, which beat secondary context cancellations.
+
+// firstError selects the most diagnostic error from a collective's
+// per-link results: RemoteError (names the culprit rank) over other
+// non-context errors over context cancellations.
+func firstError(errs []error) error {
+	var fallback, plain error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, ok := RemoteRank(err); ok {
+			return err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if fallback == nil {
+				fallback = err
+			}
+			continue
+		}
+		if plain == nil {
+			plain = err
+		}
+	}
+	if plain != nil {
+		return plain
+	}
+	return fallback
+}
 
 // Broadcast sends root's blob to every peer; non-root ranks receive and
 // return it. Root returns its own data unchanged.
@@ -67,10 +105,8 @@ func Gather(ctx context.Context, p Peer, root int, data []byte) ([][]byte, error
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -103,10 +139,8 @@ func AllGather(ctx context.Context, p Peer, data []byte) ([][]byte, error) {
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -140,11 +174,8 @@ func RingAllGather(ctx context.Context, p Peer, data []byte) ([][]byte, error) {
 			incoming, recvErr = p.Recv(ctx, prev)
 		}()
 		wg.Wait()
-		if sendErr != nil {
-			return nil, sendErr
-		}
-		if recvErr != nil {
-			return nil, recvErr
+		if err := firstError([]error{sendErr, recvErr}); err != nil {
+			return nil, err
 		}
 		carrySrc = (carrySrc - 1 + k) % k
 		out[carrySrc] = incoming
@@ -253,11 +284,8 @@ func exchangeChunk(ctx context.Context, p Peer, next, prev int, data []float32, 
 		incoming, recvErr = p.Recv(ctx, prev)
 	}()
 	wg.Wait()
-	if sendErr != nil {
-		return nil, sendErr
-	}
-	if recvErr != nil {
-		return nil, recvErr
+	if err := firstError([]error{sendErr, recvErr}); err != nil {
+		return nil, err
 	}
 	return incoming, nil
 }
@@ -276,10 +304,5 @@ func sendToAll(ctx context.Context, p Peer, data []byte) error {
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstError(errs)
 }

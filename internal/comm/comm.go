@@ -12,11 +12,49 @@ package comm
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 )
 
 // ErrClosed is returned by operations on a closed peer.
 var ErrClosed = errors.New("comm: peer closed")
+
+// ErrCorrupt marks a payload whose integrity check failed: the frame header
+// was malformed or the CRC32 did not match (see FramedPeer). The message is
+// unusable but the link itself may still be healthy.
+var ErrCorrupt = errors.New("comm: corrupt frame")
+
+// ErrTimeout marks an operation that exceeded its watchdog deadline (see
+// WithOpTimeout and the cluster's Options.RequestTimeout): the expected
+// message never arrived, modeling a dropped packet or a stalled device.
+var ErrTimeout = errors.New("comm: deadline exceeded")
+
+// RemoteError attributes a failure to a specific remote rank, so the
+// cluster's health tracker can blame the right device: a corrupt frame
+// blames its sender, a receive timeout blames the silent source.
+type RemoteError struct {
+	// Rank is the base-mesh rank of the peer held responsible.
+	Rank int
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("peer %d: %v", e.Rank, e.Err) }
+
+// Unwrap supports errors.Is/As against the underlying cause.
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// RemoteRank extracts the blamed rank from an error chain. The second
+// return is false when no RemoteError is present (the failure cannot be
+// attributed to a specific peer).
+func RemoteRank(err error) (int, bool) {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Rank, true
+	}
+	return -1, false
+}
 
 // Peer is one ranked endpoint of a fully connected group of Size devices.
 // Implementations must be safe for concurrent use; Send and Recv on

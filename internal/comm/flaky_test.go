@@ -110,3 +110,72 @@ func TestFlakyCorruptionDoesNotMutateCallerBuffer(t *testing.T) {
 		t.Fatal("caller's buffer mutated")
 	}
 }
+
+func TestFlakyStallRecvRespectsContext(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	f := &FlakyPeer{Inner: peers[1], StallRecvAfter: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	go func() { _ = peers[0].Send(context.Background(), 1, []byte("never seen")) }()
+	if _, err := f.Recv(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled recv should resolve with the context error, got %v", err)
+	}
+}
+
+func TestFlakyStallRecvReleasedByClose(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	f := &FlakyPeer{Inner: peers[1], StallRecvAfter: 1}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.Recv(context.Background(), 0)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = f.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled recv leaked past Close")
+	}
+}
+
+func TestFlakyDelayEvery(t *testing.T) {
+	peers := memPair(t, 2, netem.Unlimited)
+	const delay = 30 * time.Millisecond
+	f := &FlakyPeer{Inner: peers[1], DelayEvery: 2, Delay: delay}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		go func() { _ = peers[0].Send(ctx, 1, []byte("x")) }()
+	}
+	start := time.Now()
+	if _, err := f.Recv(ctx, 0); err != nil { // 1st recv: undelayed
+		t.Fatal(err)
+	}
+	undelayed := time.Since(start)
+	start = time.Now()
+	if _, err := f.Recv(ctx, 0); err != nil { // 2nd recv: delayed
+		t.Fatal(err)
+	}
+	if delayed := time.Since(start); delayed < delay {
+		t.Fatalf("2nd recv took %v, want >= %v (1st took %v)", delayed, delay, undelayed)
+	}
+}
+
+func TestFlakyCorruptKeepsCleanByteAccounting(t *testing.T) {
+	// A corrupted send must count exactly the bytes the clean send would
+	// have, so per-request stat scopes stay consistent under fault injection.
+	peers := memPair(t, 2, netem.Unlimited)
+	f := &FlakyPeer{Inner: peers[0], CorruptEvery: 1}
+	payload := make([]byte, 64)
+	ctx := context.Background()
+	go func() { _ = f.Send(ctx, 1, payload) }()
+	if _, err := peers[1].Recv(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().BytesSent; got != int64(len(payload)) {
+		t.Fatalf("corrupted send counted %d bytes, want clean-path %d", got, len(payload))
+	}
+}

@@ -143,3 +143,27 @@ func (p *MemPeer) Close() error {
 func (p *MemPeer) NIC(r int) *netem.NIC {
 	return p.nics[r]
 }
+
+// Flush discards every message buffered on the mesh's links, releasing
+// their pooled buffers. It is the recovery hook for a protocol aborted
+// mid-flight: a failed collective leaves undelivered messages queued on the
+// FIFO links, which would misalign the next protocol's stream. The caller
+// must guarantee no rank is concurrently sending or receiving (the cluster
+// fences the mesh around fault-tolerant attempts before flushing).
+func (p *MemPeer) Flush() {
+	for _, row := range p.links {
+		for _, ch := range row {
+			if ch == nil {
+				continue
+			}
+			for drained := false; !drained; {
+				select {
+				case msg := <-ch:
+					ReleaseBuffer(msg.data)
+				default:
+					drained = true
+				}
+			}
+		}
+	}
+}

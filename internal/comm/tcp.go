@@ -3,6 +3,7 @@ package comm
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -38,6 +39,24 @@ var _ Peer = (*TCPPeer)(nil)
 // prefixes (1 GiB).
 const maxFrame = 1 << 30
 
+// Transient-send retry policy, mirroring dialRetry's backoff: a send that
+// fails before any frame byte reaches the wire is retried with exponential
+// backoff; once part of the frame is out, retrying would corrupt the
+// stream, so the error is final.
+const (
+	sendRetries      = 3
+	sendBackoffStart = 50 * time.Millisecond
+	sendBackoffMax   = 2 * time.Second
+)
+
+// transientNetErr reports whether a send failure is worth retrying on the
+// same connection: transport-level timeouts while the caller's context is
+// still live. Stream-breaking errors (resets, closed pipes) are final.
+func transientNetErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Rank implements Peer.
 func (p *TCPPeer) Rank() int { return p.rank }
 
@@ -60,6 +79,32 @@ func (p *TCPPeer) Send(ctx context.Context, to int, data []byte) error {
 			return err
 		}
 	}
+	backoff := sendBackoffStart
+	for attempt := 0; ; attempt++ {
+		wrote, err := p.writeFrame(ctx, to, data)
+		if err == nil {
+			p.stats.sent(len(data))
+			return nil
+		}
+		if wrote || attempt >= sendRetries-1 || ctx.Err() != nil || !transientNetErr(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.done:
+			return ErrClosed
+		case <-time.After(backoff):
+		}
+		if backoff < sendBackoffMax {
+			backoff *= 2
+		}
+	}
+}
+
+// writeFrame writes one length-prefixed frame to rank `to`, reporting
+// whether any bytes reached the connection (after which a retry is unsafe).
+func (p *TCPPeer) writeFrame(ctx context.Context, to int, data []byte) (wrote bool, err error) {
 	p.sendMu[to].Lock()
 	defer p.sendMu[to].Unlock()
 	conn := p.conns[to]
@@ -69,14 +114,13 @@ func (p *TCPPeer) Send(ctx context.Context, to int, data []byte) error {
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return fmt.Errorf("comm: write header to %d: %w", to, err)
+	if n, err := conn.Write(hdr[:]); err != nil {
+		return n > 0, fmt.Errorf("comm: write header to %d: %w", to, err)
 	}
 	if _, err := conn.Write(data); err != nil {
-		return fmt.Errorf("comm: write body to %d: %w", to, err)
+		return true, fmt.Errorf("comm: write body to %d: %w", to, err)
 	}
-	p.stats.sent(len(data))
-	return nil
+	return true, nil
 }
 
 // Recv implements Peer.

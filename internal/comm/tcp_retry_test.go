@@ -1,0 +1,123 @@
+package comm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubTimeoutErr satisfies net.Error with Timeout() == true.
+type stubTimeoutErr struct{}
+
+func (stubTimeoutErr) Error() string   { return "stub: i/o timeout" }
+func (stubTimeoutErr) Timeout() bool   { return true }
+func (stubTimeoutErr) Temporary() bool { return true }
+
+// stubConn fails the first `failures` writes before any byte hits the wire
+// (when partial is false) or after the 4-byte header (when partial is true).
+type stubConn struct {
+	net.Conn // panics if an unstubbed method is called
+
+	mu       sync.Mutex
+	failures int
+	partial  bool
+	fail     error
+	writes   int
+	buf      bytes.Buffer
+}
+
+func (c *stubConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	if c.failures > 0 {
+		c.failures--
+		if c.partial {
+			n, _ := c.buf.Write(b)
+			return n, c.fail
+		}
+		return 0, c.fail
+	}
+	return c.buf.Write(b)
+}
+
+func (c *stubConn) SetWriteDeadline(time.Time) error { return nil }
+func (c *stubConn) Close() error                     { return nil }
+
+func (c *stubConn) writeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+func stubTCPPeer(conn net.Conn) *TCPPeer {
+	return &TCPPeer{
+		rank:   0,
+		size:   2,
+		conns:  []net.Conn{nil, conn},
+		sendMu: make([]sync.Mutex, 2),
+		recvMu: make([]sync.Mutex, 2),
+		done:   make(chan struct{}),
+	}
+}
+
+func TestTCPSendRetriesTransientTimeout(t *testing.T) {
+	// A net timeout before any frame byte is out retries on the same
+	// connection and succeeds; the payload lands exactly once.
+	conn := &stubConn{failures: 1, fail: stubTimeoutErr{}}
+	p := stubTCPPeer(conn)
+	payload := []byte("retried")
+	start := time.Now()
+	if err := p.Send(context.Background(), 1, payload); err != nil {
+		t.Fatalf("send should succeed after retry: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < sendBackoffStart {
+		t.Fatalf("retry skipped the backoff: %v", elapsed)
+	}
+	if got := conn.buf.Len(); got != 4+len(payload) {
+		t.Fatalf("wire carries %d bytes, want one frame of %d", got, 4+len(payload))
+	}
+	if p.Stats().BytesSent != int64(len(payload)) {
+		t.Fatalf("stats counted %d, want %d", p.Stats().BytesSent, len(payload))
+	}
+}
+
+func TestTCPSendNoRetryAfterPartialWrite(t *testing.T) {
+	// Once part of a frame is on the wire, a retry would corrupt the byte
+	// stream for every later frame — the error must be final.
+	conn := &stubConn{failures: 1, partial: true, fail: stubTimeoutErr{}}
+	p := stubTCPPeer(conn)
+	err := p.Send(context.Background(), 1, []byte("broken"))
+	if err == nil {
+		t.Fatal("partial write should fail the send")
+	}
+	if got := conn.writeCount(); got != 1 {
+		t.Fatalf("send retried after partial write (%d writes)", got)
+	}
+}
+
+func TestTCPSendNoRetryOnFatalError(t *testing.T) {
+	conn := &stubConn{failures: 10, fail: errors.New("connection reset by peer")}
+	p := stubTCPPeer(conn)
+	if err := p.Send(context.Background(), 1, []byte("x")); err == nil {
+		t.Fatal("fatal error should fail the send")
+	}
+	if got := conn.writeCount(); got != 1 {
+		t.Fatalf("send retried a non-transient error (%d writes)", got)
+	}
+}
+
+func TestTCPSendRetryBudgetExhausts(t *testing.T) {
+	conn := &stubConn{failures: sendRetries + 1, fail: stubTimeoutErr{}}
+	p := stubTCPPeer(conn)
+	if err := p.Send(context.Background(), 1, []byte("x")); !transientNetErr(err) {
+		t.Fatalf("exhausted retries should surface the net timeout, got %v", err)
+	}
+	if got := conn.writeCount(); got != sendRetries {
+		t.Fatalf("made %d attempts, want %d", got, sendRetries)
+	}
+}

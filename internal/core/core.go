@@ -42,6 +42,10 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 // Config returns the model configuration.
 func (e *Engine) Config() model.Config { return e.cluster.Config() }
 
+// Health returns a snapshot of every worker device's health state — which
+// ranks are serving, on probation, or excluded after blamed failures.
+func (e *Engine) Health() []cluster.RankHealth { return e.cluster.Health() }
+
 // Prediction is the result of one end-to-end classification request.
 type Prediction struct {
 	Class  int

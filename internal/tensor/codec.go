@@ -44,19 +44,37 @@ func Decode(buf []byte) (*Matrix, int, error) {
 	return DecodePooled(nil, buf)
 }
 
+// maxDecodeElems bounds the element count a decoded header may declare
+// (2^28 float32s = 1 GiB), the first line of defense against corrupt or
+// adversarial headers triggering unbounded allocations.
+const maxDecodeElems = 1 << 28
+
+// checkShape validates a decoded rows×cols header. Each dimension is
+// bounded before the product is formed so a hostile header cannot overflow
+// rows*cols into an innocent-looking small (or negative) value.
+func checkShape(rows, cols int) error {
+	if rows < 0 || cols < 0 || rows > maxDecodeElems || cols > maxDecodeElems ||
+		(rows > 0 && cols > maxDecodeElems/rows) {
+		return fmt.Errorf("tensor: decode: implausible shape %dx%d", rows, cols)
+	}
+	return nil
+}
+
 // DecodePooled is Decode with the output matrix drawn from pool (plain
 // allocation when pool is nil). Every element is overwritten, so recycled
 // storage never leaks stale values.
+//
+// The declared shape is validated against both an absolute bound and the
+// actual payload length before any allocation happens, so a corrupt frame
+// declaring billions of elements resolves as an error, not an OOM.
 func DecodePooled(pool *MatrixPool, buf []byte) (*Matrix, int, error) {
 	if len(buf) < 8 {
 		return nil, 0, fmt.Errorf("tensor: decode: short header (%d bytes)", len(buf))
 	}
 	rows := int(binary.LittleEndian.Uint32(buf))
 	cols := int(binary.LittleEndian.Uint32(buf[4:]))
-	// Guard against corrupt/adversarial headers before allocating.
-	const maxElems = 1 << 28
-	if rows < 0 || cols < 0 || rows*cols > maxElems {
-		return nil, 0, fmt.Errorf("tensor: decode: implausible shape %dx%d", rows, cols)
+	if err := checkShape(rows, cols); err != nil {
+		return nil, 0, err
 	}
 	need := EncodedSize(rows, cols)
 	if len(buf) < need {
@@ -86,9 +104,8 @@ func ReadFrom(r io.Reader) (*Matrix, error) {
 	}
 	rows := int(binary.LittleEndian.Uint32(hdr[:]))
 	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
-	const maxElems = 1 << 28
-	if rows < 0 || cols < 0 || rows*cols > maxElems {
-		return nil, fmt.Errorf("tensor: read: implausible shape %dx%d", rows, cols)
+	if err := checkShape(rows, cols); err != nil {
+		return nil, err
 	}
 	body := make([]byte, 4*rows*cols)
 	if _, err := io.ReadFull(r, body); err != nil {

@@ -140,3 +140,38 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestDecodeHostileOverflowHeader(t *testing.T) {
+	// Two huge dimensions whose product overflows int64 into an
+	// innocent-looking value must still be rejected before any allocation —
+	// the per-dimension bounds, not the product, are the gate.
+	hostile := [][2]uint32{
+		{1 << 31, 1 << 31},              // product overflows to a small value
+		{0xFFFFFFFF, 0xFFFFFFFF},        // max dims
+		{0xFFFFFFFF, 1},                 // negative after int truncation on 32-bit
+		{1 << 29, 8},                    // single dim over the element bound
+		{3, (1 << 28) / 3 * 2},          // product over the bound, dims under
+	}
+	for _, dims := range hostile {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:], dims[0])
+		binary.LittleEndian.PutUint32(hdr[4:], dims[1])
+		if _, _, err := Decode(hdr[:]); err == nil {
+			t.Errorf("Decode accepted hostile header %dx%d", dims[0], dims[1])
+		}
+		if _, err := ReadFrom(bytes.NewReader(hdr[:])); err == nil {
+			t.Errorf("ReadFrom accepted hostile header %dx%d", dims[0], dims[1])
+		}
+	}
+}
+
+func TestDecodeDeclaredSizeBeyondPayload(t *testing.T) {
+	// A plausible shape whose declared size exceeds the actual payload must
+	// be rejected without reading out of bounds.
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[:], 1000)
+	binary.LittleEndian.PutUint32(buf[4:], 1000)
+	if _, _, err := Decode(buf[:]); err == nil {
+		t.Fatal("want error when payload is shorter than the declared shape")
+	}
+}

@@ -2,20 +2,32 @@
 # Repository CI gate: vet, build, full test suite, then the concurrency
 # suites under the race detector (the serving runtime's correctness claims —
 # overlapping requests, per-request stat scopes, pooled buffers — only mean
-# something raced).
+# something raced), and finally the chaos stage: the fault-injection suite
+# twice under -race, since its bugs are scheduling-dependent by nature.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
 
+echo "== go vet ./cmd/..."
+go vet ./cmd/...
+
 echo "== go build ./..."
 go build ./...
+
+echo "== go build ./cmd/..."
+go build ./cmd/...
 
 echo "== go test ./..."
 go test ./...
 
 echo "== go test -race ./internal/cluster/... ./internal/comm/..."
 go test -race ./internal/cluster/... ./internal/comm/...
+
+echo "== chaos: go test -race -count=2 (fault-injection suite)"
+go test -race -count=2 -run \
+    'Chaos|Killed|Dropped|Corrupt|Stalled|AllWorkersDead|Probation|NonRetryable|Flaky|OpTimeout|VerifyFrame|Framed|TCPSend|DecodeHostile|DecodeDeclared' \
+    ./internal/cluster/... ./internal/comm/... ./internal/tensor/...
 
 echo "CI OK"

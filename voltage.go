@@ -30,6 +30,7 @@ package voltage
 
 import (
 	"voltage/internal/cluster"
+	"voltage/internal/comm"
 	"voltage/internal/core"
 	"voltage/internal/costmodel"
 	"voltage/internal/flopcount"
@@ -73,6 +74,31 @@ type (
 	AttentionOrder = flopcount.Order
 	// CostSystem is the analytic latency model of a deployment.
 	CostSystem = costmodel.System
+	// RankHealth is one worker device's health snapshot.
+	RankHealth = cluster.RankHealth
+	// HealthState is a device's serving eligibility.
+	HealthState = cluster.HealthState
+)
+
+// Device health states (see ClusterOptions.MaxRetries / ProbeAfter).
+const (
+	// DeviceHealthy serves requests normally.
+	DeviceHealthy = cluster.Healthy
+	// DeviceProbation is an unhealthy device being offered a probing request.
+	DeviceProbation = cluster.Probation
+	// DeviceUnhealthy is excluded from new requests.
+	DeviceUnhealthy = cluster.Unhealthy
+)
+
+// Typed fault-tolerance errors, matchable with errors.Is on any failure a
+// request resolves with.
+var (
+	// ErrTimeout marks a dropped or stalled message that a deadline resolved.
+	ErrTimeout = comm.ErrTimeout
+	// ErrCorrupt marks a frame whose checksum did not verify.
+	ErrCorrupt = comm.ErrCorrupt
+	// ErrInjected marks a fault injected by a test transport.
+	ErrInjected = comm.ErrInjected
 )
 
 // Inference strategies.
