@@ -605,4 +605,9 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	b.Run("serve-pooled", func(b *testing.B) { serve(b, cluster.Options{}) })
 	b.Run("serve-unpooled", func(b *testing.B) { serve(b, cluster.Options{NoPooling: true}) })
+	// The metrics-disabled variant bounds the observability layer's cost:
+	// serve-pooled (metrics on, the default) must stay within noise of it —
+	// the instruments are pre-resolved atomics, nothing on the data path
+	// takes a lock or allocates.
+	b.Run("serve-nometrics", func(b *testing.B) { serve(b, cluster.Options{NoMetrics: true}) })
 }

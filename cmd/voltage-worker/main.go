@@ -23,9 +23,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"voltage/internal/cluster"
 	"voltage/internal/comm"
+	"voltage/internal/core"
+	"voltage/internal/metrics"
 	"voltage/internal/model"
 	"voltage/internal/netem"
 	"voltage/internal/partition"
@@ -56,12 +60,11 @@ func run(args []string, w io.Writer) error {
 	bandwidth := fs.Float64("bandwidth", 0, "egress shaping in Mbps (0 = unshaped)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "mesh formation + serving budget")
 	opTimeout := fs.Duration("op-timeout", 0, "per-message watchdog deadline (0 = none)")
+	admin := fs.String("admin", "", "HTTP admin listener address (serves /metrics, /healthz, pprof; port 0 picks a free port)")
+	local := fs.Int("local", 0, "run an in-process engine with this many emulated workers instead of joining a TCP mesh")
+	hold := fs.Duration("hold", 0, "with -local: keep the process (and its admin listener) alive this long after the requests finish")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	addrs := strings.Split(*addrList, ",")
-	if len(addrs) < 2 {
-		return fmt.Errorf("need at least one worker and one terminal in -addrs")
 	}
 	cfg, err := model.Presets(*modelName)
 	if err != nil {
@@ -70,13 +73,38 @@ func run(args []string, w io.Writer) error {
 	if *layers > 0 {
 		cfg = cfg.Scaled(*layers)
 	}
+	tensor.SetWorkers(1) // single-CPU device emulation
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *local > 0 {
+		return runLocal(ctx, w, cfg, *local, localOptions{
+			strategy: *strategy, seed: *seed, text: *text, words: *words,
+			requests: *requests, bandwidth: *bandwidth, opTimeout: *opTimeout,
+			admin: *admin, hold: *hold,
+		})
+	}
+
+	addrs := strings.Split(*addrList, ",")
+	if len(addrs) < 2 {
+		return fmt.Errorf("need at least one worker and one terminal in -addrs")
+	}
 	if *terminal && *rank != len(addrs)-1 {
 		return fmt.Errorf("terminal must be the last rank (%d)", len(addrs)-1)
 	}
 
-	tensor.SetWorkers(1) // single-CPU device emulation
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
+	// The admin listener starts before the (blocking) mesh formation so a
+	// forming or wedged deployment can still be probed; the traffic
+	// counters read through a holder that is populated once the mesh is up.
+	var holder peerHolder
+	if *admin != "" {
+		srv, err := startMeshAdmin(*admin, *rank, &holder)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "admin listening on %s\n", srv.Addr())
+	}
 
 	profile := netem.Profile{BandwidthMbps: *bandwidth}
 	mesh, err := comm.NewTCPMesh(ctx, *rank, addrs, profile)
@@ -88,12 +116,156 @@ func run(args []string, w io.Writer) error {
 	// ranks must agree on the framing, so it is unconditional.
 	peer := comm.WithOpTimeout(comm.NewFramed(mesh), *opTimeout)
 	defer peer.Close()
+	holder.set(peer)
 
 	k := len(addrs) - 1
 	if *terminal {
 		return runTerminal(ctx, w, peer, cfg, k, *strategy, *seed, *text, *words, *requests)
 	}
 	return runWorker(ctx, w, peer, cfg, k, *rank, *strategy, *seed)
+}
+
+// peerHolder hands the admin listener a peer that does not exist yet when
+// the listener starts (mesh formation blocks). Reads before set() see zero
+// stats.
+type peerHolder struct {
+	mu sync.Mutex
+	p  comm.Peer
+}
+
+func (h *peerHolder) set(p comm.Peer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.p = p
+}
+
+func (h *peerHolder) stats() comm.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.p == nil {
+		return comm.Stats{}
+	}
+	return h.p.Stats()
+}
+
+func (h *peerHolder) formed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.p != nil
+}
+
+// startMeshAdmin serves this process's transport counters and liveness for
+// a TCP-mesh deployment. (The richer serving metrics live in the cluster
+// runtime; a mesh process exposes what it has — its own link traffic.)
+func startMeshAdmin(addr string, rank int, holder *peerHolder) (*metrics.AdminServer, error) {
+	reg := metrics.NewRegistry()
+	reg.CounterFunc("voltage_comm_bytes_sent_total",
+		"Payload bytes sent by this process (framing overhead excluded).",
+		func() float64 { return float64(holder.stats().BytesSent) })
+	reg.CounterFunc("voltage_comm_bytes_recv_total",
+		"Payload bytes received by this process.",
+		func() float64 { return float64(holder.stats().BytesRecv) })
+	reg.CounterFunc("voltage_comm_msgs_sent_total",
+		"Messages sent by this process.",
+		func() float64 { return float64(holder.stats().MsgsSent) })
+	reg.CounterFunc("voltage_comm_msgs_recv_total",
+		"Messages received by this process.",
+		func() float64 { return float64(holder.stats().MsgsRecv) })
+	reg.GaugeFunc("voltage_mesh_formed",
+		"1 once this process's TCP mesh is connected.",
+		func() float64 {
+			if holder.formed() {
+				return 1
+			}
+			return 0
+		})
+	health := func() metrics.Health {
+		return metrics.Health{OK: true, Detail: map[string]any{
+			"rank": rank, "mesh_formed": holder.formed(),
+		}}
+	}
+	return metrics.StartAdmin(addr, reg, health)
+}
+
+// localOptions bundles runLocal's knobs.
+type localOptions struct {
+	strategy  string
+	seed      int64
+	text      string
+	words     int
+	requests  int
+	bandwidth float64
+	opTimeout time.Duration
+	admin     string
+	hold      time.Duration
+}
+
+// parseStrategy maps the -strategy flag to a cluster strategy.
+func parseStrategy(s string) (cluster.Strategy, error) {
+	switch s {
+	case "single":
+		return cluster.StrategySingle, nil
+	case "tensor-parallel", "tp":
+		return cluster.StrategyTensorParallel, nil
+	case "voltage", "":
+		return cluster.StrategyVoltage, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+// runLocal serves requests on an in-process engine — the emulated cluster
+// with its full serving runtime, so the admin listener exposes the real
+// serving metrics (request latency, per-rank traffic, health states). This
+// is the smoke-test mode scripts/ci.sh drives.
+func runLocal(ctx context.Context, w io.Writer, cfg model.Config, k int, lo localOptions) error {
+	strat, err := parseStrategy(lo.strategy)
+	if err != nil {
+		return err
+	}
+	eng, err := core.New(cfg, k, cluster.Options{
+		Profile:   netem.Profile{BandwidthMbps: lo.bandwidth},
+		OpTimeout: lo.opTimeout,
+		Seed:      lo.seed,
+		AdminAddr: lo.admin,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if lo.admin != "" {
+		fmt.Fprintf(w, "admin listening on %s\n", eng.AdminAddr())
+	}
+	tok, err := tokenizer.New(cfg.VocabSize)
+	if err != nil {
+		return err
+	}
+	var ids []int
+	if lo.text != "" {
+		ids = tok.Encode(lo.text)
+	} else {
+		n := lo.words
+		if n+2 > cfg.MaxSeq {
+			n = cfg.MaxSeq - 2
+		}
+		ids = tok.EncodeWords(n, 7)
+	}
+	for req := 0; req < lo.requests; req++ {
+		pred, err := eng.ClassifyTokens(ctx, strat, ids)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "request %d: class=%d latency=%v N=%d K=%d\n",
+			req, pred.Class, pred.Run.Latency.Round(time.Millisecond), len(ids), k)
+	}
+	if lo.hold > 0 {
+		fmt.Fprintf(w, "holding for %v\n", lo.hold)
+		select {
+		case <-time.After(lo.hold):
+		case <-ctx.Done():
+		}
+	}
+	return nil
 }
 
 // runWorker serves layer computations under the chosen strategy until the

@@ -24,6 +24,7 @@ import (
 
 	"voltage/internal/balance"
 	"voltage/internal/comm"
+	"voltage/internal/metrics"
 	"voltage/internal/model"
 	"voltage/internal/netem"
 	"voltage/internal/partition"
@@ -137,6 +138,24 @@ type Options struct {
 	// hook used by the chaos tests (comm.FlakyPeer). Rank k is the
 	// terminal.
 	WrapTransport func(rank int, p comm.Peer) comm.Peer
+
+	// Observability (see DESIGN.md "Observability"). Metrics stay off the
+	// data path: the serving loops record through pre-resolved atomic
+	// instruments, a few loads/adds per request.
+
+	// NoMetrics disables the metrics registry entirely. Metrics() then
+	// returns an empty snapshot and an admin listener serves no series;
+	// kept for A/B benchmarking of the instrumentation itself.
+	NoMetrics bool
+	// TraceRequests attaches a span trace to every request, surfaced on
+	// Result.Trace: one span per (device, layer, phase) step, so a single
+	// slow request can be decomposed without the lifetime aggregates.
+	TraceRequests bool
+	// AdminAddr, when non-empty, starts an HTTP admin listener on this
+	// address (host:port; port 0 picks a free one — read it back with
+	// Cluster.AdminAddr) serving Prometheus text on /metrics, a health
+	// probe on /healthz, and net/http/pprof. It closes with the cluster.
+	AdminAddr string
 }
 
 // Cluster is an in-process emulation of a terminal device plus K workers.
@@ -154,6 +173,12 @@ type Cluster struct {
 	scheme *partition.Scheme
 	opts   Options
 	health *healthTracker
+
+	// Observability. metrics is nil under Options.NoMetrics — every
+	// clusterMetrics method is nil-receiver-safe, so record sites need no
+	// guards. admin is nil unless Options.AdminAddr was set.
+	metrics *clusterMetrics
+	admin   *metrics.AdminServer
 
 	// Serving runtime state.
 	pool        *tensor.MatrixPool // nil when Options.NoPooling
@@ -202,19 +227,26 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cm *clusterMetrics
+	var tap comm.FaultTap
+	if !opts.NoMetrics {
+		cm = newClusterMetrics(k)
+		tap = cm.fault
+	}
 	// Every payload crossing the mesh is integrity-checked: fault injection
 	// (when configured) sits between the raw transport and the frame layer,
 	// so injected corruption is caught by the receiver's CRC; the per-op
 	// watchdog wraps outermost so even a framed message that never arrives
-	// resolves as a typed timeout.
+	// resolves as a typed timeout. Both fault layers report into the
+	// metrics tap, counting even faults a later retry masks.
 	peers := make([]comm.Peer, k+1)
 	for r := range peers {
 		var p comm.Peer = mesh[r]
 		if opts.WrapTransport != nil {
 			p = opts.WrapTransport(r, p)
 		}
-		p = comm.NewFramed(p)
-		peers[r] = comm.WithOpTimeout(p, opts.OpTimeout)
+		p = comm.NewFramed(p, tap)
+		peers[r] = comm.WithOpTimeout(p, opts.OpTimeout, tap)
 	}
 	// Every worker materializes the same weights from the shared seed —
 	// Voltage replicates the model instead of shipping weights.
@@ -239,10 +271,14 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 		models: models, shards: shards,
 		scheme: scheme, opts: opts,
 		health:    newHealthTracker(k, opts.ProbeAfter),
+		metrics:   cm,
 		queue:     make(chan *request, queueDepth),
 		collectCh: make(chan *request, inflightDepth),
 		admitCh:   make([]chan *request, k),
 	}
+	// Health transitions mirror into the per-rank gauge; the method value is
+	// nil-receiver-safe, so this wires unconditionally.
+	c.health.onTransition = cm.healthTransition
 	for r := range c.admitCh {
 		c.admitCh[r] = make(chan *request, admitDepth)
 	}
@@ -250,7 +286,62 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 		c.pool = &tensor.MatrixPool{}
 	}
 	c.serveCtx, c.serveCancel = context.WithCancel(context.Background())
+	if opts.AdminAddr != "" {
+		admin, err := metrics.StartAdmin(opts.AdminAddr, cm.registry(), c.healthCheck)
+		if err != nil {
+			_ = peers[0].Close()
+			return nil, fmt.Errorf("cluster: admin listener: %w", err)
+		}
+		c.admin = admin
+	}
 	return c, nil
+}
+
+// healthCheck backs the admin listener's /healthz: serving (200) while at
+// least one worker rank remains eligible — a degraded cluster still serves
+// — and failing (503) only when every rank is Unhealthy. The body carries
+// the per-rank detail either way.
+func (c *Cluster) healthCheck() metrics.Health {
+	snap := c.health.snapshot()
+	type rankDetail struct {
+		Rank     int    `json:"rank"`
+		State    string `json:"state"`
+		Failures int    `json:"failures"`
+		LastErr  string `json:"last_err,omitempty"`
+	}
+	detail := make([]rankDetail, len(snap))
+	ok := false
+	for i, rh := range snap {
+		detail[i] = rankDetail{Rank: rh.Rank, State: rh.State.String(), Failures: rh.Failures}
+		if rh.LastErr != nil {
+			detail[i].LastErr = rh.LastErr.Error()
+		}
+		if rh.State != Unhealthy {
+			ok = true
+		}
+	}
+	return metrics.Health{OK: ok, Detail: detail}
+}
+
+// Metrics returns a point-in-time snapshot of every registered series
+// (empty under Options.NoMetrics).
+func (c *Cluster) Metrics() metrics.Snapshot {
+	return c.metrics.registry().Snapshot()
+}
+
+// MetricsRegistry exposes the cluster's registry so an embedding process
+// can mount it on its own admin surface (nil under Options.NoMetrics).
+func (c *Cluster) MetricsRegistry() *metrics.Registry {
+	return c.metrics.registry()
+}
+
+// AdminAddr returns the admin listener's bound address ("" when none was
+// requested) — useful with Options.AdminAddr port 0.
+func (c *Cluster) AdminAddr() string {
+	if c.admin == nil {
+		return ""
+	}
+	return c.admin.Addr()
 }
 
 // K returns the number of worker devices.
@@ -272,12 +363,14 @@ func (c *Cluster) SetBandwidth(mbps float64) {
 }
 
 // Close stops the serving runtime and shuts the mesh down. Every wrapped
-// peer is closed so stalled fault-injection receives unblock too.
+// peer is closed so stalled fault-injection receives unblock too, and the
+// admin listener (when one was started) stops serving.
 func (c *Cluster) Close() {
 	c.serveCancel()
 	for _, p := range c.peers {
 		_ = p.Close()
 	}
+	c.admin.Close()
 }
 
 // Result reports one distributed inference.
@@ -307,6 +400,10 @@ type Result struct {
 	// Live lists the worker ranks that served the final attempt. Nil means
 	// the full cluster.
 	Live []int
+	// Trace holds the request's per-layer span trace when
+	// Options.TraceRequests is set (nil otherwise). Under retries it is the
+	// final attempt's trace.
+	Trace *trace.RequestTrace
 }
 
 // TotalBytesSent sums payload bytes sent by the workers (excluding the

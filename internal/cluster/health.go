@@ -72,6 +72,22 @@ type healthTracker struct {
 	mu         sync.Mutex
 	probeAfter time.Duration
 	ranks      []rankHealth
+	// onTransition, when non-nil, observes every state change (set once at
+	// construction, before any request flows — the metrics mirror). Called
+	// with the tracker's lock held; observers must not call back in.
+	onTransition func(rank int, from, to HealthState)
+}
+
+// transition moves one rank's state, notifying the observer on change.
+func (h *healthTracker) transition(rank int, to HealthState) {
+	from := h.ranks[rank].state
+	if from == to {
+		return
+	}
+	h.ranks[rank].state = to
+	if h.onTransition != nil {
+		h.onTransition(rank, from, to)
+	}
 }
 
 type rankHealth struct {
@@ -95,7 +111,7 @@ func (h *healthTracker) live(now time.Time) []int {
 	for r := range h.ranks {
 		rh := &h.ranks[r]
 		if rh.state == Unhealthy && h.probeAfter > 0 && now.Sub(rh.downSince) >= h.probeAfter {
-			rh.state = Probation
+			h.transition(r, Probation)
 		}
 		if rh.state != Unhealthy {
 			live = append(live, r)
@@ -112,7 +128,7 @@ func (h *healthTracker) recordFailure(rank int, cause error) {
 		return
 	}
 	rh := &h.ranks[rank]
-	rh.state = Unhealthy
+	h.transition(rank, Unhealthy)
 	rh.failures++
 	rh.lastErr = cause
 	rh.downSince = time.Now()
@@ -124,7 +140,7 @@ func (h *healthTracker) recordSuccess(ranks []int) {
 	defer h.mu.Unlock()
 	for _, r := range ranks {
 		if r >= 0 && r < len(h.ranks) {
-			h.ranks[r].state = Healthy
+			h.transition(r, Healthy)
 		}
 	}
 }

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"time"
+
+	"voltage/internal/comm"
+	"voltage/internal/metrics"
+	"voltage/internal/trace"
+)
+
+// Observability wiring (see DESIGN.md "Observability"). clusterMetrics
+// resolves every instrument once at construction, so the serving loops
+// record with plain atomic operations — no label lookups, no locks, no
+// allocation on the data path. Every method is nil-receiver-safe:
+// Options.NoMetrics leaves c.metrics nil and each record site costs one
+// branch, which keeps the metrics-enabled and -disabled paths within
+// benchmark noise of each other.
+//
+// Metrics observe the existing accounting (comm.Stats scopes, trace
+// phases); they never alter it, so the paper's communication-volume
+// assertions are unaffected by the metrics layer.
+type clusterMetrics struct {
+	reg *metrics.Registry
+
+	// Request/attempt outcomes. An "attempt" is one dispatch through the
+	// mesh; a "request" is the caller-visible unit (one or more attempts
+	// under supervision).
+	requestsOK     *metrics.Counter
+	requestsErr    *metrics.Counter
+	attemptsOK     *metrics.Counter
+	attemptsErr    *metrics.Counter
+	retries        *metrics.Counter
+	degraded       *metrics.Counter
+	localFallbacks *metrics.Counter
+
+	latency      *metrics.Histogram
+	queueDepth   *metrics.Histogram
+	attemptsHist *metrics.Histogram
+
+	queueLen *metrics.Gauge
+	inflight *metrics.Gauge
+
+	// Typed-error counters, both at the cause level (the error a request
+	// resolves with) and at the transport level (the comm layer's fault
+	// taps, which also count faults that a retry later masks).
+	errTimeout  *metrics.Counter
+	errCorrupt  *metrics.Counter
+	errInjected *metrics.Counter
+	errOther    *metrics.Counter
+	tapCorrupt  *metrics.Counter
+	tapTimeout  *metrics.Counter
+
+	// Per-rank traffic (payload bytes, matching the Stats contract). Index
+	// r = worker rank r; index k = the terminal.
+	bytesSent []*metrics.Counter
+	bytesRecv []*metrics.Counter
+	msgsSent  []*metrics.Counter
+	msgsRecv  []*metrics.Counter
+
+	// Health: current state per rank plus transition counts by target
+	// state.
+	healthState   []*metrics.Gauge
+	transitions   *metrics.CounterVec
+	toHealthy     *metrics.Counter
+	toProbation   *metrics.Counter
+	toUnhealthy   *metrics.Counter
+	phaseCompute  *metrics.Counter
+	phaseComm     *metrics.Counter
+	phaseBoundary *metrics.Counter
+}
+
+// rankLabel names a mesh rank for metric labels; the terminal (rank k)
+// reads "terminal" so dashboards need no knowledge of the mesh layout.
+func rankLabel(rank, k int) string {
+	if rank == k {
+		return "terminal"
+	}
+	return strconv.Itoa(rank)
+}
+
+// newClusterMetrics registers the cluster's metric families on a fresh
+// registry and pre-resolves every per-rank child so families render
+// complete (at zero) from the first scrape.
+func newClusterMetrics(k int) *clusterMetrics {
+	reg := metrics.NewRegistry()
+	m := &clusterMetrics{reg: reg}
+
+	requests := reg.CounterVec("voltage_requests_total",
+		"Caller-visible requests resolved, by outcome.", "outcome")
+	m.requestsOK = requests.With("ok")
+	m.requestsErr = requests.With("error")
+	attempts := reg.CounterVec("voltage_attempts_total",
+		"Dispatched attempts through the mesh, by outcome (retries count each attempt).", "outcome")
+	m.attemptsOK = attempts.With("ok")
+	m.attemptsErr = attempts.With("error")
+	m.retries = reg.Counter("voltage_retries_total",
+		"Degraded-mode re-dispatches after a retryable failure.")
+	m.degraded = reg.Counter("voltage_degraded_requests_total",
+		"Requests whose final attempt ran on fewer than K workers.")
+	m.localFallbacks = reg.Counter("voltage_local_fallbacks_total",
+		"Requests served by the terminal alone with no surviving worker.")
+
+	m.latency = reg.Histogram("voltage_request_latency_seconds",
+		"Terminal-observed attempt latency (input broadcast to result assembly).",
+		metrics.LatencyBuckets)
+	m.queueDepth = reg.Histogram("voltage_queue_depth",
+		"Admission-queue depth observed at each submit.", metrics.DepthBuckets)
+	m.attemptsHist = reg.Histogram("voltage_request_attempts",
+		"Dispatches needed per completed request (1 = clean first try).",
+		metrics.AttemptBuckets)
+
+	m.queueLen = reg.Gauge("voltage_queue_length",
+		"Requests currently waiting in the admission queue.")
+	m.inflight = reg.Gauge("voltage_inflight_requests",
+		"Requests currently occupying the mesh (dispatched, not yet resolved).")
+
+	causes := reg.CounterVec("voltage_errors_total",
+		"Requests resolved with a typed error, by cause.", "type")
+	m.errTimeout = causes.With("timeout")
+	m.errCorrupt = causes.With("corrupt")
+	m.errInjected = causes.With("injected")
+	m.errOther = causes.With("other")
+	m.tapCorrupt = reg.Counter("voltage_frames_corrupt_total",
+		"Frames that failed their integrity check on receive (transport tap; counts faults retries later mask).")
+	m.tapTimeout = reg.Counter("voltage_op_timeouts_total",
+		"Send/Recv operations that exceeded the per-op watchdog deadline (transport tap).")
+
+	bytesSent := reg.CounterVec("voltage_comm_bytes_sent_total",
+		"Payload bytes sent per mesh rank (framing overhead excluded).", "rank")
+	bytesRecv := reg.CounterVec("voltage_comm_bytes_recv_total",
+		"Payload bytes received per mesh rank.", "rank")
+	msgsSent := reg.CounterVec("voltage_comm_msgs_sent_total",
+		"Messages sent per mesh rank.", "rank")
+	msgsRecv := reg.CounterVec("voltage_comm_msgs_recv_total",
+		"Messages received per mesh rank.", "rank")
+	health := reg.GaugeVec("voltage_health_state",
+		"Per-rank health (0 healthy, 1 probation, 2 unhealthy).", "rank")
+	m.bytesSent = make([]*metrics.Counter, k+1)
+	m.bytesRecv = make([]*metrics.Counter, k+1)
+	m.msgsSent = make([]*metrics.Counter, k+1)
+	m.msgsRecv = make([]*metrics.Counter, k+1)
+	m.healthState = make([]*metrics.Gauge, k)
+	for r := 0; r <= k; r++ {
+		lbl := rankLabel(r, k)
+		m.bytesSent[r] = bytesSent.With(lbl)
+		m.bytesRecv[r] = bytesRecv.With(lbl)
+		m.msgsSent[r] = msgsSent.With(lbl)
+		m.msgsRecv[r] = msgsRecv.With(lbl)
+		if r < k {
+			m.healthState[r] = health.With(lbl)
+			m.healthState[r].Set(float64(Healthy))
+		}
+	}
+
+	m.transitions = reg.CounterVec("voltage_health_transitions_total",
+		"Health-state transitions, by target state.", "state")
+	m.toHealthy = m.transitions.With(Healthy.String())
+	m.toProbation = m.transitions.With(Probation.String())
+	m.toUnhealthy = m.transitions.With(Unhealthy.String())
+
+	phase := reg.CounterVec("voltage_phase_seconds_total",
+		"Accumulated time by execution phase across all devices.", "phase")
+	m.phaseCompute = phase.With(trace.PhaseCompute.String())
+	m.phaseComm = phase.With(trace.PhaseComm.String())
+	m.phaseBoundary = phase.With(trace.PhaseBoundary.String())
+
+	return m
+}
+
+// registry returns the backing registry (nil when metrics are disabled).
+func (m *clusterMetrics) registry() *metrics.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// fault is the comm.FaultTap wired beneath the framing/watchdog wrappers.
+func (m *clusterMetrics) fault(kind comm.FaultKind, _ int) {
+	if m == nil {
+		return
+	}
+	switch kind {
+	case comm.FaultCorrupt:
+		m.tapCorrupt.Inc()
+	case comm.FaultTimeout:
+		m.tapTimeout.Inc()
+	}
+}
+
+// observeQueue records the admission queue's depth after a submit.
+func (m *clusterMetrics) observeQueue(depth int) {
+	if m == nil {
+		return
+	}
+	m.queueLen.Set(float64(depth))
+	m.queueDepth.Observe(float64(depth))
+}
+
+// dequeued tracks the queue gauge as the dispatcher drains it.
+func (m *clusterMetrics) dequeued(depth int) {
+	if m == nil {
+		return
+	}
+	m.queueLen.Set(float64(depth))
+}
+
+// inflightAdd tracks requests occupying the mesh.
+func (m *clusterMetrics) inflightAdd(delta float64) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(delta)
+}
+
+// observeAttempt records one resolved dispatch: its latency, outcome, typed
+// cause, and the per-rank traffic it moved.
+func (m *clusterMetrics) observeAttempt(latency time.Duration, perDevice []comm.Stats, err error) {
+	if m == nil {
+		return
+	}
+	m.latency.Observe(latency.Seconds())
+	if err == nil {
+		m.attemptsOK.Inc()
+	} else {
+		m.attemptsErr.Inc()
+		m.countCause(err)
+	}
+	for r, s := range perDevice {
+		if r >= len(m.bytesSent) {
+			break
+		}
+		m.bytesSent[r].Add(float64(s.BytesSent))
+		m.bytesRecv[r].Add(float64(s.BytesRecv))
+		m.msgsSent[r].Add(float64(s.MsgsSent))
+		m.msgsRecv[r].Add(float64(s.MsgsRecv))
+	}
+}
+
+// observeRequest records one caller-visible resolution.
+func (m *clusterMetrics) observeRequest(attempts int, degraded bool, err error) {
+	if m == nil {
+		return
+	}
+	if err == nil {
+		m.requestsOK.Inc()
+	} else {
+		m.requestsErr.Inc()
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	m.attemptsHist.Observe(float64(attempts))
+	if attempts > 1 {
+		m.retries.Add(float64(attempts - 1))
+	}
+	if degraded {
+		m.degraded.Inc()
+	}
+}
+
+// fallbackServed counts a terminal-only resolution (no surviving worker).
+func (m *clusterMetrics) fallbackServed() {
+	if m == nil {
+		return
+	}
+	m.localFallbacks.Inc()
+}
+
+// countCause classifies a resolved error into the typed-cause counters.
+func (m *clusterMetrics) countCause(err error) {
+	switch {
+	case errors.Is(err, comm.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
+		m.errTimeout.Inc()
+	case errors.Is(err, comm.ErrCorrupt):
+		m.errCorrupt.Inc()
+	case errors.Is(err, comm.ErrInjected):
+		m.errInjected.Inc()
+	default:
+		m.errOther.Inc()
+	}
+}
+
+// healthTransition mirrors the health tracker's state machine into the
+// per-rank gauge and the transition counter.
+func (m *clusterMetrics) healthTransition(rank int, _, to HealthState) {
+	if m == nil || rank < 0 || rank >= len(m.healthState) {
+		return
+	}
+	m.healthState[rank].Set(float64(to))
+	switch to {
+	case Healthy:
+		m.toHealthy.Inc()
+	case Probation:
+		m.toProbation.Inc()
+	case Unhealthy:
+		m.toUnhealthy.Inc()
+	}
+}
+
+// phase accumulates execution-phase time.
+func (m *clusterMetrics) phase(ph trace.Phase, d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	switch ph {
+	case trace.PhaseCompute:
+		m.phaseCompute.Add(d.Seconds())
+	case trace.PhaseComm:
+		m.phaseComm.Add(d.Seconds())
+	case trace.PhaseBoundary:
+		m.phaseBoundary.Add(d.Seconds())
+	}
+}

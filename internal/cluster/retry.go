@@ -49,11 +49,15 @@ func (c *Cluster) supervise(ctx context.Context, outer *request) {
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		outer.attempts = attempt
 		if len(live) == 0 {
-			outer.finish(c.localFallback(outer))
+			err := c.localFallback(outer)
+			c.metrics.fallbackServed()
+			c.metrics.observeRequest(attempt, true, err)
+			outer.finish(err)
 			return
 		}
 		inner, err := c.submitAttempt(ctx, outer.strategy, outer.x, live)
 		if err != nil {
+			c.metrics.observeRequest(attempt, false, err)
 			outer.finish(err)
 			return
 		}
@@ -64,10 +68,13 @@ func (c *Cluster) supervise(ctx context.Context, outer *request) {
 			select {
 			case <-ireq.done: // resolution raced the shutdown; prefer it
 			default:
+				// Shutdown-drain resolutions are deliberately not counted as
+				// requests: they report the cluster dying, not the workload.
 				outer.finish(errServingStopped)
 				return
 			}
 		}
+		outer.trace = ireq.trace // final attempt's trace wins
 		if ireq.err == nil {
 			outer.output = ireq.output
 			outer.latency = ireq.latency
@@ -75,11 +82,13 @@ func (c *Cluster) supervise(ctx context.Context, outer *request) {
 			outer.live = ireq.live
 			outer.degraded = ireq.degraded
 			c.health.recordSuccess(ireq.live)
+			c.metrics.observeRequest(attempt, ireq.degraded, nil)
 			outer.finish(nil)
 			return
 		}
 		lastErr = ireq.err
 		if !retryable(ireq.err) || ctx.Err() != nil || c.serveCtx.Err() != nil {
+			c.metrics.observeRequest(attempt, ireq.degraded, ireq.err)
 			outer.finish(ireq.err)
 			return
 		}
@@ -90,6 +99,7 @@ func (c *Cluster) supervise(ctx context.Context, outer *request) {
 			live = removeRank(live, blamed)
 		}
 	}
+	c.metrics.observeRequest(maxAttempts, false, lastErr)
 	outer.finish(fmt.Errorf("cluster: %d attempts exhausted: %w", maxAttempts, lastErr))
 }
 
@@ -101,7 +111,7 @@ func (c *Cluster) submitAttempt(ctx context.Context, strategy Strategy, x *tenso
 	// mid-collective, the dispatcher can flush its residual traffic before
 	// anything else enters. Fault tolerance trades mesh-level pipelining
 	// for failure isolation; the admission queue still overlaps requests.
-	req := &request{strategy: strategy, x: x, live: append([]int(nil), live...), fenced: true}
+	req := &request{strategy: strategy, x: x, live: append([]int(nil), live...), fenced: true, supervised: true}
 	if len(live) == c.k {
 		runner, err := runnerFor(strategy)
 		if err != nil {

@@ -126,7 +126,7 @@ func (singleRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *com
 		if err := c.paceRank(ctx, 0, start, cost); err != nil {
 			return err
 		}
-		c.opts.Recorder.Add(0, trace.PhaseCompute, time.Since(start))
+		c.recordPhase(req, 0, li, trace.PhaseCompute, time.Since(start))
 		// Forward never retains its input, so the previous activation can
 		// back a later layer or request.
 		pool.Put(cur)
@@ -215,7 +215,7 @@ func (voltageRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *co
 			}
 		}
 		elapsed := time.Since(start)
-		c.opts.Recorder.Add(rank, trace.PhaseCompute, elapsed)
+		c.recordPhase(req, rank, li, trace.PhaseCompute, elapsed)
 		if li == len(m.Layers)-1 {
 			// Final layer: ship the partition to the terminal.
 			if err := p.Send(ctx, term, ex.Encode(part)); err != nil {
@@ -235,7 +235,7 @@ func (voltageRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *co
 		if err != nil {
 			return fmt.Errorf("layer %d allgather: %w", li, err)
 		}
-		c.opts.Recorder.Add(rank, trace.PhaseComm, time.Since(commStart))
+		c.recordPhase(req, rank, li, trace.PhaseComm, time.Since(commStart))
 		// The gather copied the local partition into the assembled matrix
 		// and ForwardPartition never retains its input, so both the
 		// partition and the previous activation recycle here — the per-layer
@@ -295,11 +295,11 @@ func (tpRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Ex
 			if err := c.paceRank(ctx, rank, start, flops); err != nil {
 				return err
 			}
-			c.opts.Recorder.Add(rank, trace.PhaseCompute, time.Since(start))
+			c.recordPhase(req, rank, li, trace.PhaseCompute, time.Since(start))
 			return nil
 		}
 		shard.OnComm = func(d time.Duration) {
-			c.opts.Recorder.Add(rank, trace.PhaseComm, d)
+			c.recordPhase(req, rank, li, trace.PhaseComm, d)
 		}
 		out, err := shard.Forward(ctx, group, cur, !c.opts.NaiveAllReduce)
 		if err != nil {

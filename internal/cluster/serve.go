@@ -10,6 +10,7 @@ import (
 	"voltage/internal/comm"
 	"voltage/internal/partition"
 	"voltage/internal/tensor"
+	"voltage/internal/trace"
 )
 
 // The persistent serving runtime. A cluster serves requests with K+2
@@ -74,6 +75,12 @@ type request struct {
 	attempts int
 	degraded bool
 	fenced   bool
+	// supervised attempts are counted as requests by their supervisor, not
+	// by collect (which counts each as an attempt only).
+	supervised bool
+
+	// trace collects per-layer spans when Options.TraceRequests is set.
+	trace *trace.RequestTrace
 
 	// ctx governs the whole request; cancel releases every role on the
 	// first error so no goroutine blocks on a dead request.
@@ -204,6 +211,7 @@ func (p *Pending) Wait(ctx context.Context) (*Result, error) {
 		Attempts:  attempts,
 		Degraded:  req.degraded,
 		Live:      live,
+		Trace:     req.trace,
 	}, nil
 }
 
@@ -242,6 +250,10 @@ func (c *Cluster) Submit(ctx context.Context, strategy Strategy, x *tensor.Matri
 func (c *Cluster) submit(ctx context.Context, req *request) (*Pending, error) {
 	c.Serve()
 	req.id = c.nextID.Add(1)
+	if c.opts.TraceRequests {
+		req.trace = trace.NewRequestTrace()
+		req.trace.SetID(req.id)
+	}
 	req.done = make(chan struct{})
 	req.errs = make([]error, c.k+1)
 	req.perDevice = make([]comm.Stats, c.k+1)
@@ -265,6 +277,7 @@ func (c *Cluster) submit(ctx context.Context, req *request) (*Pending, error) {
 	}
 	select {
 	case c.queue <- req:
+		c.metrics.observeQueue(len(c.queue))
 		return &Pending{c: c, req: req}, nil
 	case <-c.serveCtx.Done():
 		req.cancel()
@@ -281,6 +294,7 @@ func (c *Cluster) dispatchLoop() {
 	for {
 		select {
 		case req := <-c.queue:
+			c.metrics.dequeued(len(c.queue))
 			if !c.dispatch(req, ex) {
 				c.drainQueue()
 				return
@@ -295,18 +309,22 @@ func (c *Cluster) dispatchLoop() {
 // dispatch tags every worker loop with the request and runs the terminal's
 // admission side. Returns false when the cluster shut down mid-dispatch.
 func (c *Cluster) dispatch(req *request, ex *comm.Exchange) bool {
+	c.metrics.inflightAdd(1)
 	for r := 0; r < c.k; r++ {
 		select {
 		case c.admitCh[r] <- req:
 		case <-c.serveCtx.Done():
 			req.finish(errServingStopped)
+			c.metrics.inflightAdd(-1)
 			return false
 		}
 	}
 	if !req.runner.exclusive() {
 		scope := comm.Scoped(c.peers[c.terminalRank()])
 		req.start = time.Now()
-		if err := req.runner.admit(req.ctx, c, scope, ex, req); err != nil {
+		err := req.runner.admit(req.ctx, c, scope, ex, req)
+		c.recordPhase(req, c.terminalRank(), -1, trace.PhaseBoundary, time.Since(req.start))
+		if err != nil {
 			req.errs[c.k] = err
 			c.abort(req) // unblock workers waiting on input
 		}
@@ -316,6 +334,7 @@ func (c *Cluster) dispatch(req *request, ex *comm.Exchange) bool {
 	case c.collectCh <- req:
 	case <-c.serveCtx.Done():
 		req.finish(errServingStopped)
+		c.metrics.inflightAdd(-1)
 		return false
 	}
 	if req.runner.exclusive() || req.fenced {
@@ -328,13 +347,44 @@ func (c *Cluster) dispatch(req *request, ex *comm.Exchange) bool {
 				// An aborted protocol can leave undelivered messages queued
 				// on the FIFO links; flush so the next request's streams
 				// start aligned.
-				c.mesh[0].Flush()
+				c.flushResidue()
 			}
 		case <-c.serveCtx.Done():
+			// Shutdown landed mid-attempt. The abandoned attempt's residue
+			// must still drain — before this fix it stayed queued, pinning
+			// pooled buffers past Close. finish is once-guarded, so racing
+			// the collector (which may be resolving the request right now,
+			// or may already have exited without adopting it) is harmless;
+			// either way the request is resolved before the flush runs.
+			req.finish(errServingStopped)
+			c.flushResidue()
 			return false
 		}
 	}
 	return true
+}
+
+// flushResidue drops whatever undelivered messages an aborted attempt left
+// queued on the FIFO links, so the next request's streams start aligned.
+// The flush goes through the wrapped peer stack (flushing the raw mesh
+// directly would bypass any state a wrapper layers on top); when an opaque
+// WrapTransport hides the Flusher, it falls back to the raw mesh so the
+// links still drain.
+func (c *Cluster) flushResidue() {
+	if comm.TryFlush(c.peers[0]) {
+		return
+	}
+	c.mesh[0].Flush()
+}
+
+// recordPhase feeds one timed step to every observer: the lifetime
+// Recorder, the request's span trace, and the phase counters — each of
+// which may individually be disabled (all three sinks are nil-safe).
+// layer is -1 for boundary work that belongs to no layer.
+func (c *Cluster) recordPhase(req *request, rank, layer int, phase trace.Phase, d time.Duration) {
+	c.opts.Recorder.Add(rank, phase, d)
+	req.trace.Add(rank, layer, phase, d)
+	c.metrics.phase(phase, d)
 }
 
 // drainQueue fails every queued-but-undispatched request at shutdown.
@@ -392,6 +442,7 @@ func (c *Cluster) collectLoop() {
 				select {
 				case req := <-c.collectCh:
 					req.finish(errServingStopped)
+					c.metrics.inflightAdd(-1)
 				default:
 					return
 				}
@@ -407,8 +458,10 @@ func (c *Cluster) collect(req *request, ex *comm.Exchange) {
 	if req.runner.exclusive() {
 		req.start = time.Now()
 	}
+	drainStart := time.Now()
 	err := req.runner.collect(req.ctx, c, scope, ex, req)
 	req.latency = time.Since(req.start)
+	c.recordPhase(req, c.terminalRank(), -1, trace.PhaseBoundary, time.Since(drainStart))
 	if err != nil {
 		c.abort(req) // release workers blocked on a failed terminal
 		if req.errs[c.k] == nil {
@@ -417,7 +470,16 @@ func (c *Cluster) collect(req *request, ex *comm.Exchange) {
 	}
 	req.workers.Wait()
 	req.perDevice[c.k] = req.admitStats.Add(scope.Stats())
-	req.finish(c.rootCause(req))
+	cause := c.rootCause(req)
+	// Every dispatched attempt is observed here; the caller-visible request
+	// is observed here too unless a supervisor owns it (retry.go), which
+	// counts the request once its attempts conclude.
+	c.metrics.observeAttempt(req.latency, req.perDevice, cause)
+	if !req.supervised {
+		c.metrics.observeRequest(1, req.degraded, cause)
+	}
+	c.metrics.inflightAdd(-1)
+	req.finish(cause)
 }
 
 // rootCause elects the request's reported error from its per-role slots.

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"voltage/internal/comm"
 	"voltage/internal/model"
+	"voltage/internal/netem"
 )
 
 // TestConcurrentSubmitsMatchSequential is the serving runtime's core
@@ -201,5 +204,82 @@ func TestScopedStatsSumToMeshTotals(t *testing.T) {
 		if got != sum[r] {
 			t.Fatalf("rank %d: mesh counters %+v, scoped sum %+v", r, got, sum[r])
 		}
+	}
+}
+
+// waitCond polls cond until it holds or the deadline passes.
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// TestShutdownDuringFencedAttemptFlushesResidue pins the shutdown-path
+// fencing fix: when Close lands while a fenced attempt owns the mesh, the
+// dispatcher previously returned without flushing, leaving the aborted
+// attempt's undelivered messages queued on the FIFO links (pinning their
+// pooled buffers) forever. The fixed path resolves the request and flushes
+// the residue before the dispatcher exits.
+func TestShutdownDuringFencedAttemptFlushesResidue(t *testing.T) {
+	c, err := NewMem(model.Tiny(), 2, Options{
+		MaxRetries: 1, // supervised → every attempt is fenced
+		// Rank 0's first receive hangs forever: its input from the terminal
+		// and its peer's collective sends stay queued as residue. No
+		// watchdog, so only Close can resolve the attempt.
+		WrapTransport: func(rank int, p comm.Peer) comm.Peer {
+			if rank == 0 {
+				return &comm.FlakyPeer{Inner: p, StallRecvAfter: 1}
+			}
+			return p
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pend, err := c.Submit(context.Background(), StrategyVoltage, embedTiny(t, c, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 2*time.Second, "residue on the links", func() bool { return c.mesh[0].Queued() > 0 })
+	// Let the remaining roles reach their blocking points so no send races
+	// the flush below.
+	time.Sleep(50 * time.Millisecond)
+	c.Close()
+	if _, err := pend.Wait(context.Background()); err == nil {
+		t.Fatal("request must fail when shutdown aborts its attempt")
+	}
+	waitCond(t, 2*time.Second, "residue flushed at shutdown", func() bool { return c.mesh[0].Queued() == 0 })
+}
+
+// TestWaitContextCancelLeavesRequestRunning pins the Wait contract: the
+// context passed to Wait bounds the wait, not the request. A Wait that
+// returns ctx.Err() leaves the request in flight, and a second Wait with a
+// fresh context observes its completed result.
+func TestWaitContextCancelLeavesRequestRunning(t *testing.T) {
+	// Per-message latency keeps the request in flight long enough that the
+	// pre-cancelled Wait below deterministically races nothing.
+	c := newTiny(t, 2, Options{Profile: netem.Profile{Latency: 20 * time.Millisecond}})
+	pend, err := c.Submit(context.Background(), StrategyVoltage, embedTiny(t, c, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pend.Wait(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait with dead context = %v, want context.Canceled", err)
+	}
+	res, err := pend.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("second Wait after an abandoned first: %v", err)
+	}
+	if res.Output == nil || res.ID != pend.ID() {
+		t.Fatalf("second Wait result %+v, want the completed request %d", res, pend.ID())
 	}
 }

@@ -80,6 +80,61 @@ type Peer interface {
 	Close() error
 }
 
+// Flusher is an optional Peer capability: discard any buffered,
+// undelivered traffic so the next protocol's streams start aligned. The
+// in-memory mesh implements it (its FIFO links hold frames an aborted
+// collective never drained); wrappers delegate it so the capability
+// survives the wrapper stack — a wrapper that swallowed it would silently
+// turn mesh fencing into a no-op (the classic wrapper-hides-optional-
+// interface bug). Flush reports whether buffered traffic was actually
+// discardable: a delegating wrapper over a transport with no flush support
+// (e.g. TCP, whose in-flight bytes live in kernel buffers) returns false.
+//
+// Callers must guarantee no rank is concurrently sending or receiving (the
+// cluster fences the mesh around fault-tolerant attempts before flushing).
+type Flusher interface {
+	Flush() bool
+}
+
+// TryFlush flushes p when it (or, through wrapper delegation, the peer it
+// wraps) supports flushing. It is the safe way to flush a wrapped peer:
+// no-op, returning false, when nothing in the stack can flush.
+func TryFlush(p Peer) bool {
+	if f, ok := p.(Flusher); ok {
+		return f.Flush()
+	}
+	return false
+}
+
+// FaultKind classifies a transport-level fault observed by a FaultTap.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultCorrupt is a frame that failed its integrity check on receive.
+	FaultCorrupt FaultKind = iota + 1
+	// FaultTimeout is an operation that exceeded its watchdog deadline.
+	FaultTimeout
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultTap observes transport-level faults for metrics: rank is the peer
+// blamed (a corrupt frame's sender, a timeout's silent remote). Taps run on
+// the error path only — never on a successful operation — and must be safe
+// for concurrent use.
+type FaultTap func(kind FaultKind, rank int)
+
 // Stats counts a peer's traffic. The byte counts are payload bytes (what
 // the paper calls communication size); framing overhead is excluded so the
 // numbers are directly comparable with the analytic formulas.

@@ -19,17 +19,20 @@ import (
 type TimeoutPeer struct {
 	base Peer
 	d    time.Duration
+	taps []FaultTap
 }
 
 var _ Peer = (*TimeoutPeer)(nil)
+var _ Flusher = (*TimeoutPeer)(nil)
 
 // WithOpTimeout bounds every operation on base at d. A non-positive d
-// returns base unchanged.
-func WithOpTimeout(base Peer, d time.Duration) Peer {
+// returns base unchanged. Optional taps observe every watchdog expiry
+// (blaming the remote rank); nil taps are skipped.
+func WithOpTimeout(base Peer, d time.Duration, taps ...FaultTap) Peer {
 	if d <= 0 {
 		return base
 	}
-	return &TimeoutPeer{base: base, d: d}
+	return &TimeoutPeer{base: base, d: d, taps: nonNilTaps(taps)}
 }
 
 // Rank implements Peer.
@@ -69,10 +72,18 @@ func (p *TimeoutPeer) mapErr(ctx, opCtx context.Context, err error, rank int, op
 		return nil
 	}
 	if opCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		for _, tap := range p.taps {
+			tap(FaultTimeout, rank)
+		}
 		return &RemoteError{Rank: rank, Err: fmt.Errorf("%w: %s %d after %v", ErrTimeout, op, rank, p.d)}
 	}
 	return err
 }
+
+// Flush delegates the optional Flusher capability to the wrapped peer, so
+// fencing through a watchdog-wrapped peer reaches the mesh's buffered
+// links.
+func (p *TimeoutPeer) Flush() bool { return TryFlush(p.base) }
 
 // Stats implements Peer, delegating to the wrapped transport.
 func (p *TimeoutPeer) Stats() Stats { return p.base.Stats() }

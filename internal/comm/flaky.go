@@ -121,6 +121,10 @@ func (f *FlakyPeer) closedCh() chan struct{} {
 // Stats implements Peer.
 func (f *FlakyPeer) Stats() Stats { return f.Inner.Stats() }
 
+// Flush delegates the optional Flusher capability to the wrapped peer, so
+// chaos-wrapped meshes still flush fenced-attempt residue.
+func (f *FlakyPeer) Flush() bool { return TryFlush(f.Inner) }
+
 // Close implements Peer, also releasing any stalled receives.
 func (f *FlakyPeer) Close() error {
 	f.closeOnce.Do(func() { close(f.closedCh()) })

@@ -42,12 +42,30 @@ var frameTable = crc32.MakeTable(crc32.Castagnoli)
 type FramedPeer struct {
 	base  Peer
 	stats counters
+	taps  []FaultTap
 }
 
 var _ Peer = (*FramedPeer)(nil)
+var _ Flusher = (*FramedPeer)(nil)
 
 // NewFramed wraps base so every payload is integrity-checked in transit.
-func NewFramed(base Peer) *FramedPeer { return &FramedPeer{base: base} }
+// Optional taps observe every corrupt frame (blaming its sender); nil taps
+// are skipped.
+func NewFramed(base Peer, taps ...FaultTap) *FramedPeer {
+	return &FramedPeer{base: base, taps: nonNilTaps(taps)}
+}
+
+// nonNilTaps drops nil entries so variadic call sites can pass a possibly
+// unset tap without guarding.
+func nonNilTaps(taps []FaultTap) []FaultTap {
+	out := taps[:0]
+	for _, t := range taps {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // Rank implements Peer.
 func (p *FramedPeer) Rank() int { return p.base.Rank() }
@@ -86,6 +104,9 @@ func (p *FramedPeer) Recv(ctx context.Context, from int) ([]byte, error) {
 	}
 	if err := verifyFrame(blob); err != nil {
 		ReleaseBuffer(blob)
+		for _, tap := range p.taps {
+			tap(FaultCorrupt, from)
+		}
 		return nil, &RemoteError{Rank: from, Err: err}
 	}
 	payload := blob[frameHeader:]
@@ -122,6 +143,10 @@ func verifyFrame(blob []byte) error {
 // Stats implements Peer with payload-only counters (framing overhead
 // excluded, matching the paper's communication-size accounting).
 func (p *FramedPeer) Stats() Stats { return p.stats.snapshot() }
+
+// Flush delegates the optional Flusher capability to the wrapped transport,
+// so fencing through a framed peer reaches the mesh's buffered links.
+func (p *FramedPeer) Flush() bool { return TryFlush(p.base) }
 
 // Close implements Peer by closing the underlying transport.
 func (p *FramedPeer) Close() error { return p.base.Close() }

@@ -145,12 +145,14 @@ func (p *MemPeer) NIC(r int) *netem.NIC {
 }
 
 // Flush discards every message buffered on the mesh's links, releasing
-// their pooled buffers. It is the recovery hook for a protocol aborted
-// mid-flight: a failed collective leaves undelivered messages queued on the
-// FIFO links, which would misalign the next protocol's stream. The caller
-// must guarantee no rank is concurrently sending or receiving (the cluster
-// fences the mesh around fault-tolerant attempts before flushing).
-func (p *MemPeer) Flush() {
+// their pooled buffers, and implements the optional Flusher capability
+// (always true: the in-memory links are flushable even when empty). It is
+// the recovery hook for a protocol aborted mid-flight: a failed collective
+// leaves undelivered messages queued on the FIFO links, which would
+// misalign the next protocol's stream. The caller must guarantee no rank
+// is concurrently sending or receiving (the cluster fences the mesh around
+// fault-tolerant attempts before flushing).
+func (p *MemPeer) Flush() bool {
 	for _, row := range p.links {
 		for _, ch := range row {
 			if ch == nil {
@@ -166,4 +168,22 @@ func (p *MemPeer) Flush() {
 			}
 		}
 	}
+	return true
 }
+
+// Queued reports the number of undelivered messages buffered across every
+// link of the mesh — the residue Flush would discard. Like Flush, it is
+// only meaningful while no rank is mid-operation.
+func (p *MemPeer) Queued() int {
+	n := 0
+	for _, row := range p.links {
+		for _, ch := range row {
+			if ch != nil {
+				n += len(ch)
+			}
+		}
+	}
+	return n
+}
+
+var _ Flusher = (*MemPeer)(nil)

@@ -48,5 +48,10 @@ func (s *ScopedPeer) Recv(ctx context.Context, from int) ([]byte, error) {
 // Stats returns the traffic counted through this scope only.
 func (s *ScopedPeer) Stats() Stats { return s.stats.snapshot() }
 
+// Flush delegates the optional Flusher capability to the wrapped peer;
+// flushed residue is traffic that never reached a receiver, so no scope
+// counters change.
+func (s *ScopedPeer) Flush() bool { return TryFlush(s.base) }
+
 // Close implements Peer by closing the underlying peer.
 func (s *ScopedPeer) Close() error { return s.base.Close() }

@@ -71,5 +71,9 @@ func (s *Subgroup) Recv(ctx context.Context, from int) ([]byte, error) {
 // once, on the underlying mesh).
 func (s *Subgroup) Stats() Stats { return s.base.Stats() }
 
+// Flush delegates the optional Flusher capability to the base peer. Note
+// the mesh-wide flush is not restricted to the subgroup's links.
+func (s *Subgroup) Flush() bool { return TryFlush(s.base) }
+
 // Close implements Peer. Closing a subgroup closes the underlying peer.
 func (s *Subgroup) Close() error { return s.base.Close() }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"voltage/internal/cluster"
+	"voltage/internal/metrics"
 	"voltage/internal/model"
 	"voltage/internal/tensor"
 )
@@ -45,6 +46,15 @@ func (e *Engine) Config() model.Config { return e.cluster.Config() }
 // Health returns a snapshot of every worker device's health state — which
 // ranks are serving, on probation, or excluded after blamed failures.
 func (e *Engine) Health() []cluster.RankHealth { return e.cluster.Health() }
+
+// Metrics returns a point-in-time snapshot of every metric series the
+// serving runtime maintains (empty under ClusterOptions.NoMetrics).
+func (e *Engine) Metrics() metrics.Snapshot { return e.cluster.Metrics() }
+
+// AdminAddr returns the bound address of the engine's HTTP admin listener,
+// or "" when ClusterOptions.AdminAddr did not request one. With a port-0
+// address this is how the chosen port is discovered.
+func (e *Engine) AdminAddr() string { return e.cluster.AdminAddr() }
 
 // Prediction is the result of one end-to-end classification request.
 type Prediction struct {

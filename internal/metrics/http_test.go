@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestAdminEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_admin_total", "x").Add(5)
+	healthy := true
+	srv, err := StartAdmin("127.0.0.1:0", r, func() Health {
+		return Health{OK: healthy, Detail: map[string]string{"mode": "test"}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "test_admin_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil || !h.OK {
+		t.Fatalf("/healthz body %q (err %v)", body, err)
+	}
+
+	healthy = false
+	resp, _ = get("/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status %d, want 503", resp.StatusCode)
+	}
+
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}
+
+func TestAdminServerNilSafety(t *testing.T) {
+	var s *AdminServer
+	if s.Addr() != "" {
+		t.Error("nil Addr must be empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Error("nil Close must be a no-op")
+	}
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters only go up
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	// Nil instruments are recordable no-ops so disabled metrics need no
+	// call-site guards.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "h")
+	b := r.Counter("test_total", "h")
+	if a != b {
+		t.Fatal("same name must resolve to the same instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a name as a different kind must panic")
+		}
+	}()
+	r.Gauge("test_total", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	wantCounts := []uint64{2, 1, 1, 1} // le=0.1 gets 0.05 and 0.1; +Inf gets 50
+	if len(snap.Buckets) != len(wantCounts) {
+		t.Fatalf("bucket count %d, want %d", len(snap.Buckets), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if snap.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, snap.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(snap.Buckets[3].UpperBound, 1) {
+		t.Error("last bucket must be +Inf")
+	}
+	if snap.Count != 5 || snap.Sum != 55.65 {
+		t.Errorf("count/sum = %d/%v, want 5/55.65", snap.Count, snap.Sum)
+	}
+}
+
+func TestVecChildrenAndSnapshotKeys(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_bytes_total", "bytes", "rank")
+	v.With("0").Add(10)
+	v.With("1").Add(20)
+	if v.With("0") != v.With("0") {
+		t.Fatal("With must return a stable child")
+	}
+	r.GaugeFunc("test_uptime_seconds", "uptime", func() float64 { return 7 })
+	snap := r.Snapshot()
+	if got := snap.Counter(`test_bytes_total{rank="0"}`); got != 10 {
+		t.Errorf("rank 0 = %v, want 10", got)
+	}
+	if got := snap.Counter(`test_bytes_total{rank="1"}`); got != 20 {
+		t.Errorf("rank 1 = %v, want 20", got)
+	}
+	if got := snap.Gauge("test_uptime_seconds"); got != 7 {
+		t.Errorf("func gauge = %v, want 7", got)
+	}
+	// A nil registry snapshots empty, not nil maps.
+	var nr *Registry
+	if s := nr.Snapshot(); s.Counters == nil || len(s.Counters) != 0 {
+		t.Error("nil registry must snapshot empty")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "x")
+	h := r.Histogram("test_conc_seconds", "x", []float64{1, 2})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("voltage_requests_total", "Requests served.").Add(3)
+	r.CounterVec("voltage_comm_bytes_sent_total", "Payload bytes sent.", "rank").With("0").Add(64)
+	r.Histogram("voltage_request_latency_seconds", "Latency.", []float64{0.5, 1}).Observe(0.7)
+	r.GaugeVec("voltage_health_state", "Health.", "rank").With("0").Set(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE voltage_requests_total counter",
+		"voltage_requests_total 3",
+		`voltage_comm_bytes_sent_total{rank="0"} 64`,
+		"# TYPE voltage_request_latency_seconds histogram",
+		`voltage_request_latency_seconds_bucket{le="0.5"} 0`,
+		`voltage_request_latency_seconds_bucket{le="1"} 1`,
+		`voltage_request_latency_seconds_bucket{le="+Inf"} 1`,
+		"voltage_request_latency_seconds_sum 0.7",
+		"voltage_request_latency_seconds_count 1",
+		`voltage_health_state{rank="0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders are byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("consecutive renders differ")
+	}
+}
+
+func TestValidNames(t *testing.T) {
+	for _, bad := range []string{"", "9abc", "a-b", "a b", "a.b"} {
+		func() {
+			defer func() { recover() }()
+			NewRegistry().Counter(bad, "x")
+			t.Errorf("name %q must be rejected", bad)
+		}()
+	}
+	NewRegistry().Counter("ok_name:total_9", "x") // must not panic
+}

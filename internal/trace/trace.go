@@ -121,15 +121,23 @@ func (r *Recorder) Snapshot() Report {
 }
 
 // MaxDevice returns the breakdown of the device with the largest total —
-// the critical path of a synchronized run.
-func (rep Report) MaxDevice() DeviceBreakdown {
-	var best DeviceBreakdown
+// the critical path of a synchronized run. Ties break deterministically
+// toward the lowest rank (the devices are interchangeable replicas, so any
+// tied device is an equally valid critical path; picking the lowest keeps
+// reports stable across runs). When no device recorded any time, ok is
+// false and the returned breakdown carries Rank -1, so an empty report can
+// never misattribute the critical path to rank 0.
+func (rep Report) MaxDevice() (DeviceBreakdown, bool) {
+	best, ok := DeviceBreakdown{Rank: -1}, false
 	for _, d := range rep.Devices {
-		if d.Total() > best.Total() {
-			best = d
+		if d.Total() <= 0 {
+			continue
+		}
+		if !ok || d.Total() > best.Total() {
+			best, ok = d, true
 		}
 	}
-	return best
+	return best, ok
 }
 
 // Mean returns the average breakdown across devices.

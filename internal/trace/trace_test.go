@@ -72,8 +72,8 @@ func TestMaxDeviceAndMean(t *testing.T) {
 		{Rank: 0, Compute: time.Second},
 		{Rank: 1, Compute: 3 * time.Second, Comm: time.Second},
 	}}
-	if got := rep.MaxDevice(); got.Rank != 1 {
-		t.Fatalf("MaxDevice rank %d", got.Rank)
+	if got, ok := rep.MaxDevice(); !ok || got.Rank != 1 {
+		t.Fatalf("MaxDevice rank %d ok %v", got.Rank, ok)
 	}
 	mean := rep.Mean()
 	if mean.Compute != 2*time.Second || mean.Comm != 500*time.Millisecond {
@@ -81,6 +81,92 @@ func TestMaxDeviceAndMean(t *testing.T) {
 	}
 	if (Report{}).Mean().Compute != 0 {
 		t.Fatal("empty Mean")
+	}
+}
+
+// TestMaxDeviceTiesAndEmpty pins the MaxDevice bugfix: an all-zero report
+// used to return the zero-value DeviceBreakdown{Rank: 0}, misreporting
+// rank 0 as the critical path; ties were decided by slice order accident.
+func TestMaxDeviceTiesAndEmpty(t *testing.T) {
+	s := time.Second
+	cases := []struct {
+		name     string
+		devices  []DeviceBreakdown
+		wantRank int
+		wantOK   bool
+	}{
+		{"empty report", nil, -1, false},
+		{"all zero totals", []DeviceBreakdown{{Rank: 0}, {Rank: 1}, {Rank: 2}}, -1, false},
+		{"single device", []DeviceBreakdown{{Rank: 0, Compute: s}}, 0, true},
+		{"clear winner", []DeviceBreakdown{{Rank: 0, Compute: s}, {Rank: 1, Comm: 2 * s}}, 1, true},
+		{"two-way tie picks lowest rank",
+			[]DeviceBreakdown{{Rank: 0, Compute: 2 * s}, {Rank: 1, Comm: 2 * s}}, 0, true},
+		{"tie among later ranks picks lowest of them",
+			[]DeviceBreakdown{{Rank: 0, Compute: s}, {Rank: 1, Comm: 3 * s}, {Rank: 2, Boundary: 3 * s}}, 1, true},
+		{"zero-total rank 0 never wins",
+			[]DeviceBreakdown{{Rank: 0}, {Rank: 1, Compute: s}}, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := Report{Devices: tc.devices}.MaxDevice()
+			if ok != tc.wantOK || got.Rank != tc.wantRank {
+				t.Fatalf("MaxDevice = rank %d ok %v, want rank %d ok %v",
+					got.Rank, ok, tc.wantRank, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestRequestTraceSpans(t *testing.T) {
+	tr := NewRequestTrace()
+	tr.SetID(42)
+	tr.Add(0, 0, PhaseCompute, 2*time.Millisecond)
+	tr.Add(1, 0, PhaseCompute, 3*time.Millisecond)
+	tr.Add(0, 0, PhaseComm, time.Millisecond)
+	tr.Add(2, -1, PhaseBoundary, 4*time.Millisecond)
+	tr.Add(0, 1, PhaseCompute, -time.Millisecond) // dropped
+
+	if tr.ID() != 42 {
+		t.Fatalf("ID = %d", tr.ID())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans, want 4", len(spans))
+	}
+	if spans[3].Layer != -1 || spans[3].Phase != PhaseBoundary || spans[3].Rank != 2 {
+		t.Fatalf("boundary span %+v", spans[3])
+	}
+	totals := tr.PhaseTotals()
+	if totals[PhaseCompute] != 5*time.Millisecond || totals[PhaseComm] != time.Millisecond ||
+		totals[PhaseBoundary] != 4*time.Millisecond {
+		t.Fatalf("totals %v", totals)
+	}
+
+	// Nil traces are recordable no-ops, so untraced requests need no call-
+	// site guards.
+	var nt *RequestTrace
+	nt.Add(0, 0, PhaseCompute, time.Second)
+	nt.SetID(1)
+	if nt.Spans() != nil || nt.ID() != 0 || len(nt.PhaseTotals()) != 0 {
+		t.Fatal("nil trace must read empty")
+	}
+}
+
+func TestRequestTraceConcurrentAdd(t *testing.T) {
+	tr := NewRequestTrace()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for l := 0; l < 25; l++ {
+				tr.Add(rank, l, PhaseCompute, time.Microsecond)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 100 {
+		t.Fatalf("%d spans, want 100", got)
 	}
 }
 

@@ -30,4 +30,46 @@ go test -race -count=2 -run \
     'Chaos|Killed|Dropped|Corrupt|Stalled|AllWorkersDead|Probation|NonRetryable|Flaky|OpTimeout|VerifyFrame|Framed|TCPSend|DecodeHostile|DecodeDeclared' \
     ./internal/cluster/... ./internal/comm/... ./internal/tensor/...
 
+echo "== admin smoke: worker -local serves /metrics and /healthz"
+# Start an in-process engine with the admin listener, serve two requests,
+# and hold; scrape the listener while it holds and require the serving
+# metric families the dashboards depend on.
+ADMIN_ADDR="127.0.0.1:19155"
+ADMIN_LOG="$(mktemp)"
+go run ./cmd/voltage-worker -local 2 -model tiny -requests 2 -words 8 \
+    -admin "$ADMIN_ADDR" -hold 30s -timeout 2m >"$ADMIN_LOG" 2>&1 &
+ADMIN_PID=$!
+trap 'kill "$ADMIN_PID" 2>/dev/null || true; rm -f "$ADMIN_LOG"' EXIT
+METRICS=""
+for _ in $(seq 1 100); do
+    if METRICS="$(curl -fsS "http://$ADMIN_ADDR/metrics" 2>/dev/null)" \
+        && grep -q 'voltage_requests_total{outcome="ok"} 2' <<<"$METRICS"; then
+        break
+    fi
+    METRICS=""
+    sleep 0.3
+done
+if [ -z "$METRICS" ]; then
+    echo "admin smoke: listener never served 2 completed requests" >&2
+    cat "$ADMIN_LOG" >&2
+    exit 1
+fi
+for family in \
+    'voltage_request_latency_seconds_bucket' \
+    'voltage_comm_bytes_sent_total{rank="terminal"}' \
+    'voltage_errors_total{type="timeout"}' \
+    'voltage_health_state{rank="0"}' \
+    'voltage_queue_length'; do
+    grep -qF "$family" <<<"$METRICS" || {
+        echo "admin smoke: /metrics missing $family" >&2
+        exit 1
+    }
+done
+curl -fsS "http://$ADMIN_ADDR/healthz" | grep -q '"ok":true' || {
+    echo "admin smoke: /healthz not ok" >&2
+    exit 1
+}
+kill "$ADMIN_PID" 2>/dev/null || true
+wait "$ADMIN_PID" 2>/dev/null || true
+
 echo "CI OK"

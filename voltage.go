@@ -35,10 +35,12 @@ import (
 	"voltage/internal/costmodel"
 	"voltage/internal/flopcount"
 	"voltage/internal/harness"
+	"voltage/internal/metrics"
 	"voltage/internal/model"
 	"voltage/internal/netem"
 	"voltage/internal/partition"
 	"voltage/internal/tensor"
+	"voltage/internal/trace"
 )
 
 // Re-exported core types. See the internal packages for full documentation.
@@ -78,6 +80,30 @@ type (
 	RankHealth = cluster.RankHealth
 	// HealthState is a device's serving eligibility.
 	HealthState = cluster.HealthState
+	// MetricsSnapshot is a point-in-time copy of every metric series the
+	// serving runtime maintains (Engine.Metrics).
+	MetricsSnapshot = metrics.Snapshot
+	// HistogramSnapshot is one histogram series in a MetricsSnapshot.
+	HistogramSnapshot = metrics.HistogramSnapshot
+	// MetricBucket is one bucket of a HistogramSnapshot.
+	MetricBucket = metrics.Bucket
+	// RequestTrace is one request's span trace, surfaced on
+	// RunResult.Trace when ClusterOptions.TraceRequests is set.
+	RequestTrace = trace.RequestTrace
+	// TraceSpan is one timed step of one request on one device.
+	TraceSpan = trace.Span
+	// TracePhase classifies a span: compute, comm, or boundary.
+	TracePhase = trace.Phase
+)
+
+// Span phases of a RequestTrace.
+const (
+	// PhaseCompute is local tensor math (including emulated pacing).
+	PhaseCompute = trace.PhaseCompute
+	// PhaseComm is blocking collective communication.
+	PhaseComm = trace.PhaseComm
+	// PhaseBoundary is terminal input distribution / output collection.
+	PhaseBoundary = trace.PhaseBoundary
 )
 
 // Device health states (see ClusterOptions.MaxRetries / ProbeAfter).
