@@ -1,0 +1,383 @@
+// Command voltage-server is the inference gateway: the network front door
+// of the Voltage serving runtime. It exposes the HTTP JSON API
+// (/v1/classify, streaming /v1/generate, /v1/queue) over an admission
+// scheduler with per-class bounded queues, deadline-aware ordering and
+// explicit load shedding, in front of either
+//
+//   - a local in-process engine (-local K): the emulated cluster with its
+//     full serving runtime, health tracking and metrics — the default; or
+//   - a TCP mesh (-addrs ...): the server joins an existing voltage-worker
+//     fleet as the terminal device and drives classification requests
+//     through it (generation requires the local engine).
+//
+// A quick local deployment:
+//
+//	voltage-server -local 3 -model tiny -listen 127.0.0.1:8080
+//	curl -s localhost:8080/v1/classify -d '{"text":"hello edge"}'
+//	curl -sN localhost:8080/v1/generate -d '{"prompt":[1,2,3],"steps":8}'
+//	curl -s localhost:8080/v1/queue
+//
+// The gateway sheds rather than blocks: a full class queue answers 429, a
+// draining or degraded cluster answers 503, and every shed is counted on
+// /metrics (voltage_gateway_shed_total). SIGINT/SIGTERM drains gracefully:
+// in-flight requests finish, new ones are rejected, and the process exits
+// once the queues are empty or -drain-timeout elapses.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"voltage/internal/cluster"
+	"voltage/internal/comm"
+	"voltage/internal/core"
+	"voltage/internal/metrics"
+	"voltage/internal/model"
+	"voltage/internal/netem"
+	"voltage/internal/partition"
+	"voltage/internal/sched"
+	"voltage/internal/server"
+	"voltage/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "voltage-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("voltage-server", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "gateway HTTP listen address (port 0 picks a free port)")
+	admin := fs.String("admin", "", "separate admin listener address (metrics + pprof; empty = gateway-only)")
+	local := fs.Int("local", 3, "emulated worker count for the in-process engine")
+	addrs := fs.String("addrs", "", "join a TCP worker mesh as the terminal instead of -local (comma-separated host:port list, this process last)")
+	modelName := fs.String("model", "tiny", "model preset")
+	layers := fs.Int("layers", 2, "stack depth (0 = full paper depth)")
+	seed := fs.Int64("seed", 1, "shared weight seed")
+	strategy := fs.String("strategy", "voltage", "mesh-mode strategy: voltage | tensor-parallel | single (must match the worker fleet)")
+	bandwidth := fs.Float64("bandwidth", 0, "emulated link bandwidth in Mbps (0 = unshaped)")
+	deviceFlops := fs.Float64("device-flops", 0, "emulated per-device compute rate in MAC/s (0 = unpaced)")
+	opTimeout := fs.Duration("op-timeout", 0, "per-message watchdog deadline (0 = none)")
+	requestTimeout := fs.Duration("request-timeout", 0, "engine-level per-request deadline (0 = none)")
+	retries := fs.Int("retries", 0, "degraded-mode retry budget (0 = fail fast)")
+	traceReq := fs.Bool("trace", false, "attach span traces to every request")
+	engineQueue := fs.Int("engine-queue", 0, "engine admission-queue depth (0 = default; gateways set this low to avoid double-buffering)")
+	qInteractive := fs.Int("queue-interactive", 0, "interactive class queue depth (0 = default 64)")
+	qBatch := fs.Int("queue-batch", 0, "batch class queue depth (0 = default 16)")
+	gwWorkers := fs.Int("gateway-workers", 0, "concurrent requests in service (0 = default 4)")
+	burst := fs.Int("interactive-burst", 0, "interactive dispatches per batch dispatch under contention (0 = default 4)")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied to requests that carry none (0 = unbounded)")
+	estInteractive := fs.Duration("estimate-interactive", 0, "expected interactive service time for deadline shedding")
+	estBatch := fs.Duration("estimate-batch", 0, "expected batch service time for deadline shedding")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	hold := fs.Duration("hold", 0, "exit (with drain) after this long instead of waiting for a signal (tests, smoke)")
+	meshTimeout := fs.Duration("mesh-timeout", 10*time.Minute, "TCP mesh formation budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := model.Presets(*modelName)
+	if err != nil {
+		return err
+	}
+	if *layers > 0 {
+		cfg = cfg.Scaled(*layers)
+	}
+	tensor.SetWorkers(1) // single-CPU device emulation
+
+	// Assemble the backend: in-process engine or TCP-mesh terminal.
+	var (
+		backend  server.Backend
+		registry *metrics.Registry
+		closers  []func()
+	)
+	if *addrs != "" {
+		list := strings.Split(*addrs, ",")
+		if len(list) < 2 {
+			return fmt.Errorf("need at least one worker and one terminal in -addrs")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *meshTimeout)
+		defer cancel()
+		mb, err := newMeshBackend(ctx, cfg, list, *strategy, *seed, *bandwidth, *opTimeout)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, mb.close)
+		backend = mb
+		registry = metrics.NewRegistry()
+		fmt.Fprintf(w, "mesh formed: terminal of %d workers\n", len(list)-1)
+	} else {
+		if *local < 1 {
+			return fmt.Errorf("-local %d < 1", *local)
+		}
+		eng, err := core.New(cfg, *local, cluster.Options{
+			Profile:        netem.Profile{BandwidthMbps: *bandwidth},
+			Seed:           *seed,
+			DeviceFlops:    *deviceFlops,
+			OpTimeout:      *opTimeout,
+			RequestTimeout: *requestTimeout,
+			MaxRetries:     *retries,
+			TraceRequests:  *traceReq,
+			QueueDepth:     *engineQueue,
+		})
+		if err != nil {
+			return err
+		}
+		closers = append(closers, eng.Close)
+		backend = eng
+		registry = eng.Cluster().MetricsRegistry()
+		if registry == nil {
+			registry = metrics.NewRegistry()
+		}
+	}
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+
+	gw, err := server.New(backend, server.Options{
+		Registry: registry,
+		Sched: sched.Options{
+			InteractiveDepth: *qInteractive,
+			BatchDepth:       *qBatch,
+			Workers:          *gwWorkers,
+			InteractiveBurst: *burst,
+			DefaultDeadline:  *defaultDeadline,
+		},
+		EstimateInteractive: *estInteractive,
+		EstimateBatch:       *estBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(w, "gateway listening on %s\n", ln.Addr())
+
+	if *admin != "" {
+		adminSrv, err := metrics.StartAdmin(*admin, registry, func() metrics.Health {
+			ranks := backend.Health()
+			ok := len(ranks) == 0
+			for _, rh := range ranks {
+				if rh.State != cluster.Unhealthy {
+					ok = true
+				}
+			}
+			return metrics.Health{OK: ok}
+		})
+		if err != nil {
+			return err
+		}
+		closers = append(closers, func() { _ = adminSrv.Close() })
+		fmt.Fprintf(w, "admin listening on %s\n", adminSrv.Addr())
+	}
+
+	// Wait for a shutdown signal (or the -hold budget), then drain: stop
+	// admitting, let in-flight work finish, stop the listener.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var holdCh <-chan time.Time
+	if *hold > 0 {
+		holdCh = time.After(*hold)
+	}
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(w, "%v: draining\n", sig)
+	case <-holdCh:
+		fmt.Fprintf(w, "hold elapsed: draining\n")
+	case err := <-serveErr:
+		return fmt.Errorf("gateway listener: %w", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := gw.Drain(drainCtx); err != nil {
+		fmt.Fprintf(w, "drain incomplete: %v\n", err)
+	} else {
+		fmt.Fprintln(w, "drained")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		_ = srv.Close()
+	}
+	<-serveErr
+	return nil
+}
+
+// meshBackend drives classification requests through an existing
+// voltage-worker TCP mesh, with this process as the terminal device. The
+// hand-rolled mesh protocol is not request-tagged, so requests are
+// serialized; the gateway's queues still provide admission control and
+// shedding in front of it.
+type meshBackend struct {
+	cfg      model.Config
+	peer     comm.Peer
+	m        *model.Model
+	scheme   *partition.Scheme
+	k        int
+	strategy string
+	nextID   atomic.Uint64
+
+	mu sync.Mutex // one request on the mesh at a time
+}
+
+func newMeshBackend(ctx context.Context, cfg model.Config, addrs []string, strategy string, seed int64, bandwidth float64, opTimeout time.Duration) (*meshBackend, error) {
+	switch strategy {
+	case "voltage", "single", "tensor-parallel", "tp":
+	default:
+		return nil, fmt.Errorf("unknown mesh strategy %q", strategy)
+	}
+	k := len(addrs) - 1
+	m, err := model.NewRandom(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := partition.Even(k)
+	if err != nil {
+		return nil, err
+	}
+	mesh, err := comm.NewTCPMesh(ctx, k, addrs, netem.Profile{BandwidthMbps: bandwidth})
+	if err != nil {
+		return nil, err
+	}
+	peer := comm.WithOpTimeout(comm.NewFramed(mesh), opTimeout)
+	return &meshBackend{
+		cfg: cfg, peer: peer, m: m, scheme: scheme, k: k, strategy: strategy,
+	}, nil
+}
+
+// close shuts the worker fleet down (empty frame per worker) and closes
+// the mesh.
+func (b *meshBackend) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for r := 0; r < b.k; r++ {
+		_ = b.peer.Send(ctx, r, []byte{})
+	}
+	_ = b.peer.Close()
+}
+
+func (b *meshBackend) Config() model.Config { return b.cfg }
+
+// Health: the raw mesh has no health tracker; report every rank healthy so
+// the scheduler applies no degradation shedding.
+func (b *meshBackend) Health() []cluster.RankHealth { return nil }
+
+func (b *meshBackend) GenerateStream(context.Context, []int, int, func(int)) (*cluster.GenerateResult, error) {
+	return nil, fmt.Errorf("voltage-server: generation requires the -local engine (mesh workers serve classification)")
+}
+
+// ClassifyTokens runs one request through the mesh: embed, broadcast,
+// collect per the fleet's strategy, classify. The deployment's workers
+// must have been started with the matching -strategy.
+func (b *meshBackend) ClassifyTokens(ctx context.Context, strategy cluster.Strategy, ids []int) (*core.Prediction, error) {
+	want, err := parseMeshStrategy(b.strategy)
+	if err != nil {
+		return nil, err
+	}
+	if strategy != want {
+		return nil, fmt.Errorf("voltage-server: mesh fleet runs %v, request asked %v", want, strategy)
+	}
+	x, err := b.m.Embed.EmbedTokens(ids)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := time.Now()
+	blob := tensor.Encode(nil, x)
+	for r := 0; r < b.k; r++ {
+		if err := b.peer.Send(ctx, r, blob); err != nil {
+			return nil, err
+		}
+	}
+	var out *tensor.Matrix
+	switch b.strategy {
+	case "single", "tensor-parallel", "tp":
+		got, err := b.peer.Recv(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		if out, _, err = tensor.Decode(got); err != nil {
+			return nil, err
+		}
+		comm.ReleaseBuffer(got)
+	default: // voltage: assemble partitions in rank order
+		ranges, err := b.scheme.Ranges(x.Rows())
+		if err != nil {
+			return nil, err
+		}
+		out = tensor.New(x.Rows(), x.Cols())
+		for r := 0; r < b.k; r++ {
+			got, err := b.peer.Recv(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+			part, _, err := tensor.Decode(got)
+			if err != nil {
+				return nil, err
+			}
+			comm.ReleaseBuffer(got)
+			if ranges[r].Empty() {
+				continue
+			}
+			if err := out.SetRowSlice(ranges[r].From, part); err != nil {
+				return nil, err
+			}
+		}
+	}
+	latency := time.Since(start)
+	logits, err := b.m.Classifier.Logits(out)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Prediction{
+		Class:  model.Argmax(logits),
+		Logits: logits,
+		Run: &cluster.Result{
+			ID:       b.nextID.Add(1),
+			Output:   out,
+			Latency:  latency,
+			Strategy: want,
+			Attempts: 1,
+		},
+	}, nil
+}
+
+// parseMeshStrategy maps the fleet strategy flag to the cluster enum.
+func parseMeshStrategy(s string) (cluster.Strategy, error) {
+	switch s {
+	case "voltage", "":
+		return cluster.StrategyVoltage, nil
+	case "single":
+		return cluster.StrategySingle, nil
+	case "tensor-parallel", "tp":
+		return cluster.StrategyTensorParallel, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -108,6 +108,24 @@ type Options struct {
 	// kept for A/B benchmarking).
 	NoPooling bool
 
+	// Serving-runtime queue sizing. Zero keeps the defaults; negative
+	// values are rejected. An inference gateway that maintains its own
+	// per-class admission queues (internal/sched) should set QueueDepth
+	// low so requests wait in the gateway — where they can be shed, re-
+	// ordered by deadline, and withdrawn on cancel — instead of double-
+	// buffering in the engine's FIFO.
+
+	// QueueDepth bounds the admission queue (default 64): Submit blocks —
+	// or fails its context — once this many requests are waiting.
+	QueueDepth int
+	// InflightDepth bounds how many dispatched requests may occupy the
+	// mesh at once (default 8), which keeps per-link queues well under the
+	// transport's limits.
+	InflightDepth int
+	// AdmitDepth bounds how far each worker loop may lag the dispatcher
+	// without blocking it (default 16).
+	AdmitDepth int
+
 	// Fault tolerance (see DESIGN.md "Fault tolerance"). All knobs default
 	// off, preserving the fail-fast behaviour of earlier revisions.
 
@@ -223,6 +241,10 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 	if opts.MaxRetries < 0 {
 		return nil, fmt.Errorf("cluster: negative MaxRetries %d", opts.MaxRetries)
 	}
+	if opts.QueueDepth < 0 || opts.InflightDepth < 0 || opts.AdmitDepth < 0 {
+		return nil, fmt.Errorf("cluster: negative queue depth (queue %d, inflight %d, admit %d)",
+			opts.QueueDepth, opts.InflightDepth, opts.AdmitDepth)
+	}
 	mesh, err := comm.NewMemMesh(k+1, opts.Profile)
 	if err != nil {
 		return nil, err
@@ -272,15 +294,15 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 		scheme: scheme, opts: opts,
 		health:    newHealthTracker(k, opts.ProbeAfter),
 		metrics:   cm,
-		queue:     make(chan *request, queueDepth),
-		collectCh: make(chan *request, inflightDepth),
+		queue:     make(chan *request, depthOr(opts.QueueDepth, defaultQueueDepth)),
+		collectCh: make(chan *request, depthOr(opts.InflightDepth, defaultInflightDepth)),
 		admitCh:   make([]chan *request, k),
 	}
 	// Health transitions mirror into the per-rank gauge; the method value is
 	// nil-receiver-safe, so this wires unconditionally.
 	c.health.onTransition = cm.healthTransition
 	for r := range c.admitCh {
-		c.admitCh[r] = make(chan *request, admitDepth)
+		c.admitCh[r] = make(chan *request, depthOr(opts.AdmitDepth, defaultAdmitDepth))
 	}
 	if !opts.NoPooling {
 		c.pool = &tensor.MatrixPool{}

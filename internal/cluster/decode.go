@@ -51,6 +51,17 @@ func decodeFrame(id int) []byte {
 // serving runtime treats it as exclusive: it is sequenced with other
 // requests but nothing overlaps it.
 func (c *Cluster) GenerateVoltage(ctx context.Context, prompt []int, steps int) (*GenerateResult, error) {
+	return c.GenerateVoltageStream(ctx, prompt, steps, nil)
+}
+
+// GenerateVoltageStream is GenerateVoltage with incremental delivery:
+// onToken (when non-nil) is called with each generated token id as soon as
+// it is decoded, before the next decode step is issued — the serving
+// gateway streams these straight to the client. The callback runs on the
+// serving runtime's collector goroutine while the request fences the
+// queue, so it must not block indefinitely; a canceled request stops
+// calling it.
+func (c *Cluster) GenerateVoltageStream(ctx context.Context, prompt []int, steps int, onToken func(tok int)) (*GenerateResult, error) {
 	if c.cfg.Kind != model.KindDecoder {
 		return nil, fmt.Errorf("cluster: %s is not a decoder", c.cfg.Name)
 	}
@@ -61,10 +72,11 @@ func (c *Cluster) GenerateVoltage(ctx context.Context, prompt []int, steps int) 
 		return nil, fmt.Errorf("cluster: negative steps %d", steps)
 	}
 	req := &request{
-		runner: generateRunner{},
-		prompt: prompt,
-		steps:  steps,
-		genRes: &GenerateResult{},
+		runner:  generateRunner{},
+		prompt:  prompt,
+		steps:   steps,
+		onToken: onToken,
+		genRes:  &GenerateResult{},
 	}
 	pend, err := c.submit(ctx, req)
 	if err != nil {
@@ -91,7 +103,7 @@ func (generateRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *co
 }
 
 func (generateRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
-	return c.decodeTerminal(ctx, p, ex, req.prompt, req.steps, req.genRes)
+	return c.decodeTerminal(ctx, p, ex, req.prompt, req.steps, req.onToken, req.genRes)
 }
 
 func (generateRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
@@ -99,7 +111,7 @@ func (generateRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *c
 }
 
 // decodeTerminal drives the generation from the terminal device.
-func (c *Cluster) decodeTerminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, prompt []int, steps int, res *GenerateResult) error {
+func (c *Cluster) decodeTerminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, prompt []int, steps int, onToken func(int), res *GenerateResult) error {
 	m := c.models[0] // pre/post-processing replica
 	x, err := m.Embed.EmbedTokens(prompt)
 	if err != nil {
@@ -148,6 +160,9 @@ func (c *Cluster) decodeTerminal(ctx context.Context, p comm.Peer, ex *comm.Exch
 		}
 		next := model.Argmax(logits)
 		tokens = append(tokens, next)
+		if onToken != nil {
+			onToken(next)
+		}
 		if i == steps-1 || len(tokens) >= c.cfg.MaxSeq {
 			break
 		}

@@ -36,6 +36,17 @@ type clusterMetrics struct {
 	degraded       *metrics.Counter
 	localFallbacks *metrics.Counter
 
+	// canceled counts requests dropped by the dispatcher because their
+	// context ended while they were still queued (never dispatched).
+	canceled *metrics.Counter
+
+	// Queue fencing: exclusive runners (generation, pipeline) and fenced
+	// fault-tolerant attempts own the mesh alone, stalling every queued
+	// request behind them.
+	fenceExclusive *metrics.Counter
+	fenceIsolation *metrics.Counter
+	fenceDur       *metrics.Histogram
+
 	latency      *metrics.Histogram
 	queueDepth   *metrics.Histogram
 	attemptsHist *metrics.Histogram
@@ -102,6 +113,17 @@ func newClusterMetrics(k int) *clusterMetrics {
 		"Requests whose final attempt ran on fewer than K workers.")
 	m.localFallbacks = reg.Counter("voltage_local_fallbacks_total",
 		"Requests served by the terminal alone with no surviving worker.")
+
+	m.canceled = reg.Counter("voltage_requests_canceled_total",
+		"Requests whose context ended while still queued, dropped before dispatch (not counted as served requests).")
+
+	fences := reg.CounterVec("voltage_queue_fences_total",
+		"Requests that fenced the admission queue (owned the mesh exclusively), by reason.", "reason")
+	m.fenceExclusive = fences.With("exclusive")
+	m.fenceIsolation = fences.With("fault_isolation")
+	m.fenceDur = reg.Histogram("voltage_fence_duration_seconds",
+		"How long each queue fence held the mesh (time no other request could dispatch).",
+		metrics.LatencyBuckets)
 
 	m.latency = reg.Histogram("voltage_request_latency_seconds",
 		"Terminal-observed attempt latency (input broadcast to result assembly).",
@@ -206,6 +228,36 @@ func (m *clusterMetrics) dequeued(depth int) {
 		return
 	}
 	m.queueLen.Set(float64(depth))
+}
+
+// canceledInQueue counts a request dropped before dispatch because its
+// context ended while it waited in the admission queue.
+func (m *clusterMetrics) canceledInQueue() {
+	if m == nil {
+		return
+	}
+	m.canceled.Inc()
+}
+
+// fenceBegin counts a queue fence starting: exclusive terminal protocols
+// (generation, pipeline) or fault-isolation fencing of supervised attempts.
+func (m *clusterMetrics) fenceBegin(exclusive bool) {
+	if m == nil {
+		return
+	}
+	if exclusive {
+		m.fenceExclusive.Inc()
+	} else {
+		m.fenceIsolation.Inc()
+	}
+}
+
+// fenceEnd records how long a fence held the mesh.
+func (m *clusterMetrics) fenceEnd(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.fenceDur.Observe(d.Seconds())
 }
 
 // inflightAdd tracks requests occupying the mesh.

@@ -41,15 +41,24 @@ import (
 // cluster.
 var errServingStopped = errors.New("cluster: serving stopped")
 
-// Queue depths: queueDepth bounds admission, inflightDepth bounds how many
-// requests may occupy the mesh at once (which in turn keeps per-link queues
-// well under the transport's limits), admitDepth lets worker loops lag the
-// dispatcher without blocking it.
+// Default queue depths: queueDepth bounds admission, inflightDepth bounds
+// how many requests may occupy the mesh at once (which in turn keeps
+// per-link queues well under the transport's limits), admitDepth lets
+// worker loops lag the dispatcher without blocking it. Options.QueueDepth/
+// InflightDepth/AdmitDepth override them.
 const (
-	queueDepth    = 64
-	inflightDepth = 8
-	admitDepth    = 16
+	defaultQueueDepth    = 64
+	defaultInflightDepth = 8
+	defaultAdmitDepth    = 16
 )
+
+// depthOr resolves a configured queue depth against its default.
+func depthOr(configured, def int) int {
+	if configured > 0 {
+		return configured
+	}
+	return def
+}
 
 // request is one in-flight unit of work flowing through the serving
 // runtime.
@@ -59,10 +68,11 @@ type request struct {
 	runner   strategyRunner
 
 	// Exactly one input set is populated, per runner kind.
-	x      *tensor.Matrix   // Infer strategies
-	prompt []int            // generate
-	steps  int              // generate
-	xs     []*tensor.Matrix // pipeline
+	x       *tensor.Matrix   // Infer strategies
+	prompt  []int            // generate
+	steps   int              // generate
+	onToken func(int)        // generate: per-token streaming callback (may be nil)
+	xs      []*tensor.Matrix // pipeline
 
 	// Fault-tolerance state (see retry.go). live lists the worker ranks
 	// serving this request (nil = all k); scheme overrides the cluster's
@@ -295,6 +305,17 @@ func (c *Cluster) dispatchLoop() {
 		select {
 		case req := <-c.queue:
 			c.metrics.dequeued(len(c.queue))
+			if err := req.ctx.Err(); err != nil {
+				// The caller abandoned the request while it waited in the
+				// queue: drop it here instead of spending a mesh slot
+				// broadcasting input nobody will collect. These resolve with
+				// the caller's context error and are counted only under
+				// voltage_requests_canceled_total — they report caller
+				// behaviour, not the workload.
+				c.metrics.canceledInQueue()
+				req.finish(err)
+				continue
+			}
 			if !c.dispatch(req, ex) {
 				c.drainQueue()
 				return
@@ -340,7 +361,13 @@ func (c *Cluster) dispatch(req *request, ex *comm.Exchange) bool {
 	if req.runner.exclusive() || req.fenced {
 		// The exclusive terminal protocol interleaves sends and receives,
 		// and fenced (fault-tolerant) attempts need failure isolation, so
-		// nothing else may enter the mesh until the request resolves.
+		// nothing else may enter the mesh until the request resolves. The
+		// fence stalls every queued request behind it — generation blocking
+		// classification traffic — so its frequency and duration are
+		// metered for gateway operators.
+		fenceStart := time.Now()
+		c.metrics.fenceBegin(req.runner.exclusive())
+		defer func() { c.metrics.fenceEnd(time.Since(fenceStart)) }()
 		select {
 		case <-req.done:
 			if req.err != nil {

@@ -173,6 +173,15 @@ func (e *Engine) GenerateCached(ctx context.Context, prompt []int, steps int) (*
 	return e.cluster.GenerateVoltage(ctx, prompt, steps)
 }
 
+// GenerateStream is GenerateCached with incremental delivery: onToken is
+// called with each generated token id as soon as it is decoded, before the
+// next decode step runs — the serving gateway's streaming endpoint rides on
+// this. The callback runs on the serving runtime's collector goroutine and
+// must not block indefinitely.
+func (e *Engine) GenerateStream(ctx context.Context, prompt []int, steps int, onToken func(tok int)) (*cluster.GenerateResult, error) {
+	return e.cluster.GenerateVoltageStream(ctx, prompt, steps, onToken)
+}
+
 // Generate decodes `steps` tokens autoregressively with the decoder model,
 // running every forward pass distributed under the given strategy. Greedy
 // (argmax) decoding keeps the result deterministic.

@@ -323,6 +323,25 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return &CounterVec{f: r.register(name, help, kindCounter, label, nil, nil)}
 }
 
+// HistogramVec is a single-label family of fixed-bucket histograms. All
+// children share the family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label value, creating it on first use.
+// Resolve once at wiring time and keep the result — With takes the family
+// lock.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	return v.f.child(labelValue).(*Histogram)
+}
+
+// HistogramVec registers (or finds) a histogram family keyed by one label.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket", name))
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, label, buckets, nil)}
+}
+
 // GaugeVec is a single-label family of gauges.
 type GaugeVec struct{ f *family }
 

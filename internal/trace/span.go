@@ -81,6 +81,23 @@ func (t *RequestTrace) Add(rank, layer int, phase Phase, d time.Duration) {
 	t.spans = append(t.spans, Span{Rank: rank, Layer: layer, Phase: phase, Offset: offset, Dur: d})
 }
 
+// AddAt records one span with an explicit offset from the trace's start —
+// for work that happened before the trace was created, like the gateway's
+// queue wait, where Add's ended-now arithmetic would misplace it. Negative
+// offsets clamp to zero (the span simply leads the trace); negative
+// durations are dropped.
+func (t *RequestTrace) AddAt(rank, layer int, phase Phase, offset, d time.Duration) {
+	if t == nil || d < 0 {
+		return
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{Rank: rank, Layer: layer, Phase: phase, Offset: offset, Dur: d})
+}
+
 // Spans returns a copy of the recorded spans in recording order (which
 // interleaves devices — sort by Offset, Rank or Layer as needed).
 func (t *RequestTrace) Spans() []Span {

@@ -22,6 +22,10 @@ const (
 	PhaseComm
 	// PhaseBoundary is terminal input distribution / output collection.
 	PhaseBoundary
+	// PhaseQueue is time spent waiting for admission — in the gateway's
+	// per-class queues or the cluster's admission queue — before any device
+	// touched the request.
+	PhaseQueue
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +37,8 @@ func (p Phase) String() string {
 		return "comm"
 	case PhaseBoundary:
 		return "boundary"
+	case PhaseQueue:
+		return "queue"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}

@@ -72,4 +72,61 @@ curl -fsS "http://$ADMIN_ADDR/healthz" | grep -q '"ok":true' || {
 kill "$ADMIN_PID" 2>/dev/null || true
 wait "$ADMIN_PID" 2>/dev/null || true
 
+echo "== gateway smoke: voltage-server -local serves /v1/classify, /metrics, and sheds"
+# Start the inference gateway over a 3-worker in-process engine with a
+# deliberately tiny interactive queue (cap 1, one worker, paced compute),
+# serve one classification, then fire a burst and require at least one
+# typed 429 shed plus the gateway metric families.
+GW_ADDR="127.0.0.1:19156"
+GW_LOG="$(mktemp)"
+go run ./cmd/voltage-server -local 3 -model tiny -layers 1 -listen "$GW_ADDR" \
+    -queue-interactive 1 -gateway-workers 1 -device-flops 2e4 \
+    -hold 60s -drain-timeout 5s >"$GW_LOG" 2>&1 &
+GW_PID=$!
+trap 'kill "$ADMIN_PID" "$GW_PID" 2>/dev/null || true; rm -f "$ADMIN_LOG" "$GW_LOG"' EXIT
+CLASSIFY=""
+for _ in $(seq 1 100); do
+    if CLASSIFY="$(curl -fsS -X POST "http://$GW_ADDR/v1/classify" \
+        -d '{"tokens":[1,2,3,4]}' 2>/dev/null)" \
+        && grep -q '"logits"' <<<"$CLASSIFY"; then
+        break
+    fi
+    CLASSIFY=""
+    sleep 0.3
+done
+if [ -z "$CLASSIFY" ]; then
+    echo "gateway smoke: /v1/classify never answered" >&2
+    cat "$GW_LOG" >&2
+    exit 1
+fi
+# Burst past the queue cap: with one paced worker and a cap-1 queue, at
+# least one of six concurrent requests must shed with HTTP 429.
+BURST_CODES="$(for _ in $(seq 1 6); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+        "http://$GW_ADDR/v1/classify" -d '{"tokens":[1,2,3,4]}' &
+done; wait)"
+grep -q '429' <<<"$BURST_CODES" || {
+    echo "gateway smoke: burst produced no 429 shed (codes: $BURST_CODES)" >&2
+    cat "$GW_LOG" >&2
+    exit 1
+}
+GW_METRICS="$(curl -fsS "http://$GW_ADDR/metrics")"
+for family in \
+    'voltage_gateway_queue_depth{class="interactive"}' \
+    'voltage_gateway_queue_depth{class="batch"}' \
+    'voltage_gateway_shed_total{cause="queue_full"}' \
+    'voltage_gateway_queue_wait_seconds_bucket' \
+    'voltage_requests_total'; do
+    grep -qF "$family" <<<"$GW_METRICS" || {
+        echo "gateway smoke: /metrics missing $family" >&2
+        exit 1
+    }
+done
+curl -fsS "http://$GW_ADDR/v1/queue" | grep -q '"interactive"' || {
+    echo "gateway smoke: /v1/queue missing class report" >&2
+    exit 1
+}
+kill "$GW_PID" 2>/dev/null || true
+wait "$GW_PID" 2>/dev/null || true
+
 echo "CI OK"

@@ -39,6 +39,8 @@ import (
 	"voltage/internal/model"
 	"voltage/internal/netem"
 	"voltage/internal/partition"
+	"voltage/internal/sched"
+	"voltage/internal/server"
 	"voltage/internal/tensor"
 	"voltage/internal/trace"
 )
@@ -94,7 +96,54 @@ type (
 	TraceSpan = trace.Span
 	// TracePhase classifies a span: compute, comm, or boundary.
 	TracePhase = trace.Phase
+	// GatewayServer is the HTTP inference gateway: admission scheduling
+	// plus the /v1 JSON API over an Engine (internal/server).
+	GatewayServer = server.Server
+	// GatewayOptions configures a GatewayServer.
+	GatewayOptions = server.Options
+	// GatewayBackend is the engine interface a GatewayServer fronts;
+	// *Engine implements it.
+	GatewayBackend = server.Backend
+	// Scheduler is the gateway's admission scheduler: bounded per-class
+	// EDF queues with explicit load shedding (internal/sched).
+	Scheduler = sched.Scheduler
+	// SchedulerOptions configures a Scheduler.
+	SchedulerOptions = sched.Options
+	// SchedulerJob is one unit of admitted work.
+	SchedulerJob = sched.Job
+	// SchedulerStats is the scheduler's point-in-time queue report.
+	SchedulerStats = sched.Stats
+	// RequestClass is a request's SLO class (interactive or batch).
+	RequestClass = sched.Class
 )
+
+// Request SLO classes of the admission scheduler.
+const (
+	// ClassInteractive is latency-sensitive work (classification).
+	ClassInteractive = sched.Interactive
+	// ClassBatch is throughput work (generation), first to shed.
+	ClassBatch = sched.Batch
+)
+
+// Typed load-shedding errors of the gateway, matchable with errors.Is.
+var (
+	// ErrQueueFull rejects a request whose class queue is at capacity (429).
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrDeadlineBeforeService rejects a request whose deadline would
+	// expire before it could be served (429).
+	ErrDeadlineBeforeService = sched.ErrDeadlineBeforeService
+	// ErrDraining rejects new requests during graceful shutdown (503).
+	ErrDraining = sched.ErrDraining
+	// ErrDegraded sheds load because the cluster lost workers (503).
+	ErrDegraded = sched.ErrDegraded
+)
+
+// NewGateway builds an HTTP inference gateway over backend and starts its
+// admission scheduler; mount NewGateway(...).Handler() on any net/http
+// server, or use the voltage-server binary.
+func NewGateway(backend GatewayBackend, opts GatewayOptions) (*GatewayServer, error) {
+	return server.New(backend, opts)
+}
 
 // Span phases of a RequestTrace.
 const (
