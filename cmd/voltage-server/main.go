@@ -76,6 +76,8 @@ func run(args []string, w io.Writer) error {
 	retries := fs.Int("retries", 0, "degraded-mode retry budget (0 = fail fast)")
 	traceReq := fs.Bool("trace", false, "attach span traces to every request")
 	engineQueue := fs.Int("engine-queue", 0, "engine admission-queue depth (0 = default; gateways set this low to avoid double-buffering)")
+	maxBatch := fs.Int("max-batch", 0, "max generate sequences fused per decode step (0 = default 8, 1 = serial)")
+	batchWindow := fs.Duration("batch-window", 0, "how long the first sequence of a batch waits for others to coalesce (0 = start immediately)")
 	qInteractive := fs.Int("queue-interactive", 0, "interactive class queue depth (0 = default 64)")
 	qBatch := fs.Int("queue-batch", 0, "batch class queue depth (0 = default 16)")
 	gwWorkers := fs.Int("gateway-workers", 0, "concurrent requests in service (0 = default 4)")
@@ -132,6 +134,8 @@ func run(args []string, w io.Writer) error {
 			MaxRetries:     *retries,
 			TraceRequests:  *traceReq,
 			QueueDepth:     *engineQueue,
+			MaxBatch:       *maxBatch,
+			BatchWindow:    *batchWindow,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,115 @@
+package attention
+
+import (
+	"errors"
+	"testing"
+
+	"voltage/internal/tensor"
+)
+
+// prefillStates builds two independent but identical cache sets for the
+// given per-sequence prompt lengths (prefill is deterministic, so running
+// it twice yields bit-identical states).
+func prefillStates(t *testing.T, mh *MultiHead, lens []int) (a, b []*MultiHeadState) {
+	t.Helper()
+	for copyIdx := 0; copyIdx < 2; copyIdx++ {
+		states := make([]*MultiHeadState, len(lens))
+		for i, n := range lens {
+			rng := tensor.NewRNG(int64(300 + i))
+			x := rng.Normal(n, mh.F(), 1)
+			s, err := mh.Prefill(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			states[i] = s
+		}
+		if copyIdx == 0 {
+			a = states
+		} else {
+			b = states
+		}
+	}
+	return a, b
+}
+
+func TestStepBatchBitIdenticalToSoloSteps(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(290), 3, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three sequences at different cache lengths — exactly the membership
+	// shape of a continuous batch.
+	batched, solo := prefillStates(t, mh, []int{5, 2, 7})
+	rng := tensor.NewRNG(299)
+	for round := 0; round < 4; round++ {
+		xNew := rng.Normal(len(batched), mh.F(), 1)
+		got, err := mh.StepBatch(batched, xNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range solo {
+			row, err := xNew.RowSlice(i, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := mh.Step(s, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRow, err := got.RowSlice(i, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gotRow.Equal(want) {
+				t.Fatalf("round %d sequence %d: batched step not bit-identical to solo", round, i)
+			}
+		}
+		// Caches must agree too — the next step's inputs depend on them.
+		for i := range batched {
+			for h := range batched[i].Heads {
+				if !batched[i].Heads[h].K.Equal(solo[i].Heads[h].K) ||
+					!batched[i].Heads[h].V.Equal(solo[i].Heads[h].V) {
+					t.Fatalf("round %d sequence %d head %d: caches diverged", round, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestStepBatchOfOneMatchesStep(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(310), 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, solo := prefillStates(t, mh, []int{4})
+	xNew := tensor.NewRNG(311).Normal(1, 16, 1)
+	got, err := mh.StepBatch(batched, xNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mh.Step(solo[0], xNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("degenerate batch of one differs from solo Step")
+	}
+}
+
+func TestStepBatchShapeErrors(t *testing.T) {
+	mh, err := RandomMultiHead(tensor.NewRNG(320), 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mh.StepBatch(nil, tensor.New(0, 16)); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for empty batch, got %v", err)
+	}
+	states := []*MultiHeadState{{Heads: []*HeadState{{}, {}}}}
+	if _, err := mh.StepBatch(states, tensor.New(2, 16)); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for row-count mismatch, got %v", err)
+	}
+	bad := []*MultiHeadState{{Heads: []*HeadState{{}}}}
+	if _, err := mh.StepBatch(bad, tensor.New(1, 16)); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("want ErrShape for head-count mismatch, got %v", err)
+	}
+}

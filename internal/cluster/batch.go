@@ -1,0 +1,537 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"voltage/internal/comm"
+	"voltage/internal/model"
+	"voltage/internal/tensor"
+	"voltage/internal/trace"
+)
+
+// Continuous batching (vLLM/Orca-style iteration-level scheduling; see
+// DESIGN.md "Continuous batching"). Generation no longer dispatches one
+// exclusive mesh protocol per request: a batch manager coalesces queued
+// sequences into a single long-lived "batched-generate" request whose
+// terminal loop alternates three boundaries —
+//
+//   join:    queued sequences prefill (each an Algorithm-2 round that also
+//            builds its K/V caches on every worker), up to MaxBatch live;
+//   produce: each live sequence's next token is decoded from its last
+//            hidden row; finished or canceled sequences leave;
+//   step:    one fused frame carries every live sequence's newest token to
+//            the workers, which advance all caches with a single batched
+//            matmul per weight per layer and return the fused B×F hidden
+//            rows in one message.
+//
+// K concurrent streams thus pay one broadcast round per token instead of K,
+// and the position-wise work fuses across the batch dimension. Per-sequence
+// outputs stay bit-identical to solo runs (model.DecodeStepBatch's row-wise
+// exactness), membership changes only happen between steps, and a lone
+// request degenerates to a batch of one — the old serial protocol.
+//
+// Compatibility rules: every sequence on a cluster shares the replicated
+// model, greedy decoding, and the partition scheme, so any set of decoder
+// sequences is batch-compatible; sequences differ only in cache length and
+// content, which the fused step handles per sequence.
+//
+// Terminal→worker frames (FIFO links; first byte is the opcode):
+//
+//   opPrefill  [1][seqID u32]            then the embedded prompt blob
+//   opStep     [2][B u16][B×(seqID u32, token u32)]
+//   opLeave    [3][seqID u32]
+//   zero-length frame                    batch request shutdown
+const (
+	opPrefill = 1
+	opStep    = 2
+	opLeave   = 3
+)
+
+// batchSeq is one generate sequence flowing through the batcher. Ownership
+// is single-threaded at all times: the batcher owns it (under mu) while
+// pending, the terminal step loop owns it while live, and finish hands it
+// back to the caller exactly once.
+type batchSeq struct {
+	ctx     context.Context
+	id      uint32
+	prompt  []int
+	steps   int
+	onToken func(int)
+	trace   *trace.RequestTrace
+	enq     time.Time
+	res     *GenerateResult
+
+	// Live-decode state, owned by the terminal loop after join.
+	tokens      []int
+	produced    int
+	last        *tensor.Matrix // final hidden row of the newest position
+	decodeStart time.Time
+	joinStats   []comm.Stats // per-rank scope snapshot at join
+
+	err  error
+	done chan struct{}
+}
+
+// finish resolves the sequence for its caller.
+func (s *batchSeq) finish(err error) {
+	s.err = err
+	close(s.done)
+}
+
+// batcher coalesces generate sequences into batched-generate requests. At
+// most one batch request is in flight per cluster; it keeps running while
+// sequences remain and retires when the batch drains.
+type batcher struct {
+	c *Cluster
+
+	mu      sync.Mutex
+	pending []*batchSeq
+	live    int // sequences taken by the running batch, not yet left
+	running bool
+	nextID  uint32
+}
+
+// add enqueues a sequence and ensures a batch request is running.
+func (b *batcher) add(seq *batchSeq) error {
+	b.mu.Lock()
+	if b.c.serveCtx.Err() != nil {
+		b.mu.Unlock()
+		return errServingStopped
+	}
+	b.nextID++
+	seq.id = b.nextID
+	seq.trace.SetID(uint64(seq.id))
+	b.pending = append(b.pending, seq)
+	start := !b.running
+	b.running = true
+	b.mu.Unlock()
+	if start {
+		go b.run()
+	}
+	return nil
+}
+
+// take moves up to n pending sequences into the running batch.
+func (b *batcher) take(n int) []*batchSeq {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 || len(b.pending) == 0 {
+		return nil
+	}
+	if n > len(b.pending) {
+		n = len(b.pending)
+	}
+	taken := b.pending[:n:n]
+	b.pending = append([]*batchSeq(nil), b.pending[n:]...)
+	b.live += len(taken)
+	return taken
+}
+
+// release returns n live slots after sequences leave the batch.
+func (b *batcher) release(n int) {
+	b.mu.Lock()
+	b.live -= n
+	b.mu.Unlock()
+}
+
+// width reports sequences live in or waiting for the batch.
+func (b *batcher) width() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.live + len(b.pending)
+}
+
+// run drives batch requests through the serving runtime until the batch
+// drains. One run owns the "running" flag; a sequence arriving after the
+// final drain check starts a fresh run.
+func (b *batcher) run() {
+	c := b.c
+	if w := c.opts.BatchWindow; w > 0 {
+		// Let a concurrent burst coalesce into the first fused round
+		// instead of starting a batch of one. Later arrivals join a
+		// running batch between steps, so only the first round waits.
+		select {
+		case <-time.After(w):
+		case <-c.serveCtx.Done():
+		}
+	}
+	for {
+		req := &request{runner: batchRunner{b}, supervised: true, noTimeout: true}
+		// Scopes are pre-created so the terminal can snapshot every rank's
+		// counters at each sequence's join and leave — per-sequence traffic
+		// deltas inside one long-lived mesh request.
+		req.scopes = make([]*comm.ScopedPeer, c.k+1)
+		for r := range req.scopes {
+			req.scopes[r] = comm.Scoped(c.peers[r])
+		}
+		pend, err := c.submit(context.Background(), req)
+		if err == nil {
+			// Sequence-level outcomes were already delivered seq by seq;
+			// the batch request's own error is the terminal's fatal cause.
+			_ = pend.wait(context.Background())
+		}
+		b.mu.Lock()
+		if c.serveCtx.Err() != nil {
+			pending := b.pending
+			b.pending = nil
+			b.running = false
+			b.mu.Unlock()
+			for _, s := range pending {
+				s.finish(errServingStopped)
+			}
+			return
+		}
+		if len(b.pending) == 0 {
+			b.running = false
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+	}
+}
+
+// batchRunner is the continuous-batching mesh protocol. Its terminal side
+// interleaves sends and receives, so it is exclusive like the old
+// generation protocol — but one fence now serves every fused sequence.
+type batchRunner struct{ b *batcher }
+
+func (batchRunner) name() string    { return "batched-generate" }
+func (batchRunner) exclusive() bool { return true }
+
+// admit is unused: exclusive runners run their whole terminal side in
+// collect.
+func (batchRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
+	return nil
+}
+
+func (r batchRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
+	return r.b.terminal(ctx, p, ex, req)
+}
+
+func (batchRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
+	return c.batchWorker(ctx, p, ex, rank)
+}
+
+// terminal drives the batch from the terminal device: join, produce, fused
+// step, repeat until the batch drains.
+func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, req *request) error {
+	c := b.c
+	m := c.models[0] // pre/post-processing replica
+	maxBatch := c.maxBatch()
+	var live []*batchSeq
+	// fail resolves every live sequence with the batch's fatal error. The
+	// workers are released by collect's abort (request-context cancel), so
+	// no shutdown frames are attempted on a possibly wedged mesh.
+	fail := func(err error) error {
+		cause := fmt.Errorf("cluster: batched generate: %w", err)
+		for _, s := range live {
+			b.leaveLocked(req, s, cause)
+		}
+		live = nil
+		return err
+	}
+	first := true
+	for {
+		// Join boundary. The first take is unconditional so a generate
+		// burst is never starved; afterwards joins pause while other
+		// requests wait in the admission queue, so the exclusive fence
+		// ends instead of extending itself indefinitely.
+		if want := maxBatch - len(live); want > 0 && (first || len(c.queue) == 0) {
+			taken := b.take(want)
+			for i, s := range taken {
+				joined, err := b.join(ctx, p, ex, req, s)
+				if err != nil {
+					// Resolve the failed joiner and the not-yet-joined
+					// remainder along with the live batch.
+					live = append(live, taken[i:]...)
+					return fail(err)
+				}
+				if joined {
+					live = append(live, s)
+				}
+			}
+		}
+		first = false
+		if len(live) == 0 {
+			// Batch drained: release the workers and retire the request.
+			for r := 0; r < c.k; r++ {
+				if err := p.Send(ctx, r, []byte{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		// Produce boundary: decode each live sequence's next token;
+		// finished, canceled, or failed sequences leave without touching
+		// the others' caches.
+		keep := live[:0]
+		for i, s := range live {
+			// A mesh fault while notifying a departure is fatal for the
+			// batch: the kept sequences plus the not-yet-visited remainder
+			// all resolve with it (s itself was resolved by leave).
+			lerr := error(nil)
+			if err := s.ctx.Err(); err != nil {
+				lerr = b.leave(ctx, p, req, s, err)
+			} else if err := b.produce(m, s); err != nil || s.exhausted(c) {
+				lerr = b.leave(ctx, p, req, s, err)
+			} else {
+				keep = append(keep, s)
+			}
+			if lerr != nil {
+				live = append(keep, live[i+1:]...)
+				return fail(lerr)
+			}
+		}
+		live = keep
+		if len(live) == 0 {
+			continue // maybe joiners arrived while producing
+		}
+
+		// Fused step: one frame out, one fused hidden matrix back.
+		frame := stepFrame(live)
+		for r := 0; r < c.k; r++ {
+			if err := p.Send(ctx, r, frame); err != nil {
+				return fail(err)
+			}
+		}
+		got, err := p.Recv(ctx, 0) // worker 0 reports the fused hidden rows
+		if err != nil {
+			return fail(err)
+		}
+		rows, _, err := tensor.Decode(got)
+		if err != nil {
+			return fail(err)
+		}
+		comm.ReleaseBuffer(got)
+		if rows.Rows() != len(live) {
+			return fail(fmt.Errorf("fused step returned %d rows for %d sequences", rows.Rows(), len(live)))
+		}
+		for i, s := range live {
+			if s.last, err = rows.RowSlice(i, i+1); err != nil {
+				return fail(err)
+			}
+		}
+		c.metrics.observeBatchStep(len(live))
+	}
+}
+
+// produce decodes one token for s from its last hidden row: exactly the
+// solo terminal's logits → argmax → append → stream ordering.
+func (b *batcher) produce(m *model.Model, s *batchSeq) error {
+	logits, err := m.LM.NextTokenLogits(s.last)
+	if err != nil {
+		return err
+	}
+	next := model.Argmax(logits)
+	s.tokens = append(s.tokens, next)
+	s.produced++
+	if s.onToken != nil {
+		s.onToken(next)
+	}
+	return nil
+}
+
+// exhausted reports that s has produced all requested tokens or filled the
+// model's context window (the solo loop's two break conditions).
+func (s *batchSeq) exhausted(c *Cluster) bool {
+	return s.produced >= s.steps || len(s.tokens) >= c.cfg.MaxSeq
+}
+
+// join admits one pending sequence into the batch: its prompt prefills
+// through Algorithm 2 (building caches on every worker) while the rest of
+// the batch waits at the step boundary. Prefills of a burst run
+// back-to-back, each its own Algorithm-2 round, so the partition math is
+// untouched. Returns joined=false for sequence-local failures (resolved
+// here); a non-nil error is a mesh fault, fatal for the whole batch.
+func (b *batcher) join(ctx context.Context, p comm.Peer, ex *comm.Exchange, req *request, s *batchSeq) (bool, error) {
+	c := b.c
+	wait := time.Since(s.enq)
+	s.res.BatchWait = wait
+	s.trace.AddAt(c.terminalRank(), -1, trace.PhaseBatchWait, 0, wait)
+	c.metrics.observeBatchWait(wait)
+	if err := s.ctx.Err(); err != nil {
+		// Abandoned while waiting to join: never dispatched to the mesh,
+		// same accounting as the dispatcher's queued-cancel drop.
+		c.metrics.canceledInQueue()
+		b.release(1)
+		s.finish(err)
+		return false, nil
+	}
+	x, err := c.models[0].Embed.EmbedTokens(s.prompt)
+	if err != nil {
+		b.leaveLocked(req, s, err)
+		return false, nil
+	}
+	s.joinStats = make([]comm.Stats, len(req.scopes))
+	for r, sc := range req.scopes {
+		s.joinStats[r] = sc.Stats()
+	}
+	c.metrics.batchJoin()
+	start := time.Now()
+	var hdr [5]byte
+	hdr[0] = opPrefill
+	binary.LittleEndian.PutUint32(hdr[1:], s.id)
+	blob := ex.Encode(x)
+	for r := 0; r < c.k; r++ {
+		if err := p.Send(ctx, r, hdr[:]); err != nil {
+			return false, err
+		}
+		if err := p.Send(ctx, r, blob); err != nil {
+			return false, err
+		}
+	}
+	out, err := c.collectPartitions(ctx, p, ex, c.allRanks(), x.Rows())
+	if err != nil {
+		return false, err
+	}
+	s.res.PrefillLatency = time.Since(start)
+	s.trace.Add(c.terminalRank(), -1, trace.PhaseBoundary, s.res.PrefillLatency)
+	s.tokens = make([]int, len(s.prompt), len(s.prompt)+s.steps)
+	copy(s.tokens, s.prompt)
+	if s.last, err = out.RowSlice(out.Rows()-1, out.Rows()); err != nil {
+		return false, err
+	}
+	s.decodeStart = time.Now()
+	return true, nil
+}
+
+// leave removes a resolved sequence from the batch, telling the workers to
+// drop its caches. cause nil is normal completion. The returned error is a
+// mesh fault encountered while notifying (the sequence itself is resolved
+// either way).
+func (b *batcher) leave(ctx context.Context, p comm.Peer, req *request, s *batchSeq, cause error) error {
+	c := b.c
+	var frame [5]byte
+	frame[0] = opLeave
+	binary.LittleEndian.PutUint32(frame[1:], s.id)
+	var sendErr error
+	for r := 0; r < c.k; r++ {
+		if err := p.Send(ctx, r, frame[:]); err != nil {
+			sendErr = err
+			break
+		}
+	}
+	b.leaveLocked(req, s, cause)
+	return sendErr
+}
+
+// leaveLocked finalizes a sequence's result and accounting without touching
+// the mesh (the workers either already dropped it, never held it, or are
+// being torn down with the whole batch).
+func (b *batcher) leaveLocked(req *request, s *batchSeq, cause error) {
+	c := b.c
+	if !s.decodeStart.IsZero() {
+		s.res.DecodeLatency = time.Since(s.decodeStart)
+	}
+	s.res.Tokens = s.tokens
+	if s.joinStats != nil {
+		s.res.PerDevice = make([]comm.Stats, len(req.scopes))
+		for r, sc := range req.scopes {
+			s.res.PerDevice[r] = sc.Stats().Sub(s.joinStats[r])
+		}
+	}
+	c.metrics.batchLeave()
+	c.metrics.observeRequest(1, false, cause)
+	b.release(1)
+	s.finish(cause)
+}
+
+// stepFrame encodes one fused decode step: every live sequence's id and
+// newest token, in batch order.
+func stepFrame(live []*batchSeq) []byte {
+	buf := make([]byte, 3+8*len(live))
+	buf[0] = opStep
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(live)))
+	off := 3
+	for _, s := range live {
+		binary.LittleEndian.PutUint32(buf[off:], s.id)
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(s.tokens[len(s.tokens)-1]))
+		off += 8
+	}
+	return buf
+}
+
+// batchWorker serves one device's side of the batch: sequences prefill into
+// a cache table, fused step frames advance every listed cache with one
+// batched matmul per weight per layer, and leave frames drop caches. Frame
+// order on the FIFO link from the terminal is the protocol.
+func (c *Cluster) batchWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int) error {
+	term := c.terminalRank()
+	m := c.models[rank]
+	states := make(map[uint32]*model.DecodeState)
+	for {
+		frame, err := p.Recv(ctx, term)
+		if err != nil {
+			return err
+		}
+		if len(frame) == 0 {
+			return nil
+		}
+		switch frame[0] {
+		case opPrefill:
+			if len(frame) != 5 {
+				return fmt.Errorf("cluster: prefill frame of %d bytes", len(frame))
+			}
+			id := binary.LittleEndian.Uint32(frame[1:])
+			comm.ReleaseBuffer(frame)
+			state, err := c.prefillWorker(ctx, p, ex, rank)
+			if err != nil {
+				return err
+			}
+			states[id] = state
+		case opStep:
+			if len(frame) < 3 {
+				return fmt.Errorf("cluster: step frame of %d bytes", len(frame))
+			}
+			n := int(binary.LittleEndian.Uint16(frame[1:3]))
+			if len(frame) != 3+8*n {
+				return fmt.Errorf("cluster: step frame of %d bytes for %d sequences", len(frame), n)
+			}
+			sts := make([]*model.DecodeState, n)
+			ids := make([]int, n)
+			for i := 0; i < n; i++ {
+				off := 3 + 8*i
+				id := binary.LittleEndian.Uint32(frame[off:])
+				st, ok := states[id]
+				if !ok {
+					return fmt.Errorf("cluster: step for unknown sequence %d", id)
+				}
+				sts[i] = st
+				ids[i] = int(binary.LittleEndian.Uint32(frame[off+4:]))
+			}
+			comm.ReleaseBuffer(frame)
+			start := time.Now()
+			rows, err := m.DecodeStepBatch(sts, ids)
+			if err != nil {
+				return err
+			}
+			// One paced interval for the whole fused step: the summed Γ of
+			// the solo steps it replaces (fusion changes latency, not MACs).
+			positions := make([]int, n)
+			for i, st := range sts {
+				positions[i] = st.Pos
+			}
+			if err := c.paceRank(ctx, rank, start, decodeStepCost(m, positions...)); err != nil {
+				return err
+			}
+			if rank == 0 {
+				if err := p.Send(ctx, term, ex.Encode(rows)); err != nil {
+					return err
+				}
+			}
+		case opLeave:
+			if len(frame) != 5 {
+				return fmt.Errorf("cluster: leave frame of %d bytes", len(frame))
+			}
+			delete(states, binary.LittleEndian.Uint32(frame[1:]))
+			comm.ReleaseBuffer(frame)
+		default:
+			return fmt.Errorf("cluster: unknown batch opcode %d", frame[0])
+		}
+	}
+}

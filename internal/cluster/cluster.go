@@ -126,6 +126,22 @@ type Options struct {
 	// without blocking it (default 16).
 	AdmitDepth int
 
+	// Continuous batching (see DESIGN.md "Continuous batching"). Concurrent
+	// generate requests share forward passes: queued prefills coalesce and
+	// the KV-cached decode steps of live sequences fuse into one matmul per
+	// layer per step, with sequences joining and leaving between steps.
+	// Outputs stay bit-identical per sequence to a solo run.
+
+	// MaxBatch caps how many generate sequences may fuse into one decode
+	// batch (default 8). 1 restores strictly serial generation — every
+	// sequence runs as a degenerate batch of one.
+	MaxBatch int
+	// BatchWindow is how long the first sequence of a new batch waits for
+	// concurrent arrivals to coalesce before its first fused round starts
+	// (default 0: start immediately). Sequences can still join a running
+	// batch between steps regardless of the window.
+	BatchWindow time.Duration
+
 	// Fault tolerance (see DESIGN.md "Fault tolerance"). All knobs default
 	// off, preserving the fail-fast behaviour of earlier revisions.
 
@@ -199,6 +215,7 @@ type Cluster struct {
 	admin   *metrics.AdminServer
 
 	// Serving runtime state.
+	batcher     *batcher           // continuous-batching manager for generation
 	pool        *tensor.MatrixPool // nil when Options.NoPooling
 	serveOnce   sync.Once
 	serveCtx    context.Context
@@ -244,6 +261,10 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 	if opts.QueueDepth < 0 || opts.InflightDepth < 0 || opts.AdmitDepth < 0 {
 		return nil, fmt.Errorf("cluster: negative queue depth (queue %d, inflight %d, admit %d)",
 			opts.QueueDepth, opts.InflightDepth, opts.AdmitDepth)
+	}
+	if opts.MaxBatch < 0 || opts.BatchWindow < 0 {
+		return nil, fmt.Errorf("cluster: negative batching knob (max batch %d, window %s)",
+			opts.MaxBatch, opts.BatchWindow)
 	}
 	mesh, err := comm.NewMemMesh(k+1, opts.Profile)
 	if err != nil {
@@ -301,6 +322,7 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 	// Health transitions mirror into the per-rank gauge; the method value is
 	// nil-receiver-safe, so this wires unconditionally.
 	c.health.onTransition = cm.healthTransition
+	c.batcher = &batcher{c: c}
 	for r := range c.admitCh {
 		c.admitCh[r] = make(chan *request, depthOr(opts.AdmitDepth, defaultAdmitDepth))
 	}
@@ -368,6 +390,26 @@ func (c *Cluster) AdminAddr() string {
 
 // K returns the number of worker devices.
 func (c *Cluster) K() int { return c.k }
+
+// defaultMaxBatch is the fused decode width cap when Options.MaxBatch is 0.
+const defaultMaxBatch = 8
+
+// maxBatch resolves the configured fused-width cap against its default.
+// The step frame carries the width as u16, bounding any configuration.
+func (c *Cluster) maxBatch() int {
+	if c.opts.MaxBatch > 0 {
+		if c.opts.MaxBatch > 65535 {
+			return 65535
+		}
+		return c.opts.MaxBatch
+	}
+	return defaultMaxBatch
+}
+
+// BatchWidth reports the generate sequences currently live in or waiting
+// for the fused decode batch — the concurrency a batch-aware admission
+// estimate should divide service time by.
+func (c *Cluster) BatchWidth() int { return c.batcher.width() }
 
 // Config returns the model configuration.
 func (c *Cluster) Config() model.Config { return c.cfg }

@@ -2,26 +2,31 @@ package cluster
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"time"
 
 	"voltage/internal/comm"
 	"voltage/internal/model"
 	"voltage/internal/tensor"
+	"voltage/internal/trace"
 )
 
 // Distributed KV-cached generation: the prompt prefill runs under
 // Algorithm 2 (position-wise partitions + All-Gather), during which every
 // worker also builds a full K/V cache for every layer — it already holds
 // each layer's complete input, so the cache costs no extra communication.
-// Each decode step then moves only a 4-byte token id to the workers and
-// one F-vector back: communication per generated token drops from
+// Each decode step then moves only token ids to the workers and one
+// F-vector per sequence back: communication per generated token drops from
 // L·(K−1)·N·F/K floats to F floats.
 //
 // Decode-step math is replicated on every worker (it is O(N·F) per layer —
 // negligible next to prefill) so the cache stays consistent everywhere and
 // any worker could serve the output.
+//
+// Generation is continuously batched (batch.go): concurrent sequences fuse
+// their decode steps into one matmul per layer per step, joining and
+// leaving the shared batch between steps. A lone request runs as the
+// degenerate batch of one, bit-identical to the old serial protocol.
 
 // GenerateResult reports a distributed generation run.
 type GenerateResult struct {
@@ -29,27 +34,26 @@ type GenerateResult struct {
 	Tokens []int
 	// PrefillLatency is the terminal-observed prompt processing time.
 	PrefillLatency time.Duration
-	// DecodeLatency is the terminal-observed total decoding time.
+	// DecodeLatency is the terminal-observed total decoding time. Under
+	// continuous batching it spans the sequence's residency in the shared
+	// batch, fused steps included.
 	DecodeLatency time.Duration
-	// PerDevice holds each device's traffic for the whole run (workers
-	// first, terminal last).
+	// BatchWait is how long the request waited before joining the decode
+	// batch (queue-vs-fuse attribution; also a PhaseBatchWait trace span).
+	BatchWait time.Duration
+	// PerDevice holds each device's traffic while this sequence was
+	// resident (workers first, terminal last). Fused steps move traffic on
+	// behalf of every co-batched sequence, so overlapping requests share
+	// these bytes.
 	PerDevice []comm.Stats
-}
-
-// decodeFrame encodes a decode-step token id.
-func decodeFrame(id int) []byte {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(id))
-	return b[:]
+	// Trace holds the request's span trace when Options.TraceRequests is
+	// set (nil otherwise).
+	Trace *trace.RequestTrace
 }
 
 // GenerateVoltage decodes steps tokens greedily: distributed prefill
 // (Voltage, Algorithm 2) followed by KV-cached decode steps. The model
 // must be a decoder.
-//
-// Generation's terminal protocol interleaves sends and receives, so the
-// serving runtime treats it as exclusive: it is sequenced with other
-// requests but nothing overlaps it.
 func (c *Cluster) GenerateVoltage(ctx context.Context, prompt []int, steps int) (*GenerateResult, error) {
 	return c.GenerateVoltageStream(ctx, prompt, steps, nil)
 }
@@ -58,9 +62,13 @@ func (c *Cluster) GenerateVoltage(ctx context.Context, prompt []int, steps int) 
 // onToken (when non-nil) is called with each generated token id as soon as
 // it is decoded, before the next decode step is issued — the serving
 // gateway streams these straight to the client. The callback runs on the
-// serving runtime's collector goroutine while the request fences the
-// queue, so it must not block indefinitely; a canceled request stops
-// calling it.
+// serving runtime's collector goroutine while the batch owns the mesh, so
+// it must not block indefinitely; a canceled request stops calling it.
+//
+// The sequence executes inside the shared continuous batch: it joins at
+// the next step boundary (immediately when the mesh is idle), fuses its
+// decode steps with whatever else is live, and leaves when done. Outputs
+// are bit-identical to a solo run regardless of co-batched traffic.
 func (c *Cluster) GenerateVoltageStream(ctx context.Context, prompt []int, steps int, onToken func(tok int)) (*GenerateResult, error) {
 	if c.cfg.Kind != model.KindDecoder {
 		return nil, fmt.Errorf("cluster: %s is not a decoder", c.cfg.Name)
@@ -71,224 +79,121 @@ func (c *Cluster) GenerateVoltageStream(ctx context.Context, prompt []int, steps
 	if steps < 0 {
 		return nil, fmt.Errorf("cluster: negative steps %d", steps)
 	}
-	req := &request{
-		runner:  generateRunner{},
-		prompt:  prompt,
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	seq := &batchSeq{
+		ctx:     ctx,
+		prompt:  append([]int(nil), prompt...),
 		steps:   steps,
 		onToken: onToken,
-		genRes:  &GenerateResult{},
+		enq:     time.Now(),
+		res:     &GenerateResult{},
+		done:    make(chan struct{}),
 	}
-	pend, err := c.submit(ctx, req)
-	if err != nil {
+	if c.opts.TraceRequests {
+		seq.trace = trace.NewRequestTrace()
+		seq.res.Trace = seq.trace
+	}
+	if err := c.batcher.add(seq); err != nil {
 		return nil, err
 	}
-	if err := pend.wait(ctx); err != nil {
-		return nil, err
+	select {
+	case <-seq.done:
+	case <-c.serveCtx.Done():
+		select {
+		case <-seq.done: // resolution raced the shutdown; prefer it
+		default:
+			return nil, errServingStopped
+		}
+	case <-ctx.Done():
+		// The sequence leaves the batch at its next step boundary; the
+		// caller need not wait for that housekeeping.
+		return nil, ctx.Err()
 	}
-	res := req.genRes
-	res.PerDevice = append([]comm.Stats(nil), req.perDevice...)
-	return res, nil
+	if seq.err != nil {
+		return nil, seq.err
+	}
+	return seq.res, nil
 }
 
-// generateRunner is the KV-cached generation protocol.
-type generateRunner struct{}
-
-func (generateRunner) name() string    { return "generate" }
-func (generateRunner) exclusive() bool { return true }
-
-// admit is unused: exclusive runners run their whole terminal side in
-// collect.
-func (generateRunner) admit(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
-	return nil
-}
-
-func (generateRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, req *request) error {
-	return c.decodeTerminal(ctx, p, ex, req.prompt, req.steps, req.onToken, req.genRes)
-}
-
-func (generateRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
-	return c.decodeWorker(ctx, p, ex, rank)
-}
-
-// decodeTerminal drives the generation from the terminal device.
-func (c *Cluster) decodeTerminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, prompt []int, steps int, onToken func(int), res *GenerateResult) error {
-	m := c.models[0] // pre/post-processing replica
-	x, err := m.Embed.EmbedTokens(prompt)
-	if err != nil {
-		return err
-	}
-	shutdown := func() {
-		for r := 0; r < c.k; r++ {
-			_ = p.Send(ctx, r, []byte{})
-		}
-	}
-
-	// Prefill: broadcast the embedded prompt, collect final partitions.
-	start := time.Now()
-	blob := ex.Encode(x)
-	for r := 0; r < c.k; r++ {
-		if err := p.Send(ctx, r, blob); err != nil {
-			shutdown()
-			return err
-		}
-	}
-	out, err := c.collectPartitions(ctx, p, ex, c.allRanks(), x.Rows())
-	if err != nil {
-		shutdown()
-		return err
-	}
-	res.PrefillLatency = time.Since(start)
-
-	tokens := make([]int, len(prompt), len(prompt)+steps)
-	copy(tokens, prompt)
-	last, err := out.RowSlice(out.Rows()-1, out.Rows())
-	if err != nil {
-		shutdown()
-		return err
-	}
-
-	// Decode loop.
-	start = time.Now()
-	for i := 0; i < steps; i++ {
-		if len(tokens) >= c.cfg.MaxSeq {
-			break
-		}
-		logits, err := m.LM.NextTokenLogits(last)
-		if err != nil {
-			shutdown()
-			return err
-		}
-		next := model.Argmax(logits)
-		tokens = append(tokens, next)
-		if onToken != nil {
-			onToken(next)
-		}
-		if i == steps-1 || len(tokens) >= c.cfg.MaxSeq {
-			break
-		}
-		frame := decodeFrame(next)
-		for r := 0; r < c.k; r++ {
-			if err := p.Send(ctx, r, frame); err != nil {
-				shutdown()
-				return err
-			}
-		}
-		got, err := p.Recv(ctx, 0) // worker 0 reports the new hidden row
-		if err != nil {
-			shutdown()
-			return err
-		}
-		last, _, err = tensor.Decode(got)
-		if err != nil {
-			shutdown()
-			return err
-		}
-		comm.ReleaseBuffer(got)
-	}
-	res.DecodeLatency = time.Since(start)
-	res.Tokens = tokens
-	shutdown()
-	return nil
-}
-
-// decodeWorker serves the prefill plus decode steps on one device.
-func (c *Cluster) decodeWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int) error {
+// prefillWorker runs the worker side of one sequence's prefill: Algorithm 2
+// with cache building. The worker caches every layer's K/V from the layer
+// input it holds after each All-Gather. (Activations are not recycled here:
+// the prefill state outlives the layer loop.)
+func (c *Cluster) prefillWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int) (*model.DecodeState, error) {
 	term := c.terminalRank()
 	m := c.models[rank]
-
-	// Prefill: Algorithm 2 with cache building. The worker caches every
-	// layer's K/V from the layer input it holds after each All-Gather.
-	// (Activations are not recycled here: the prefill state may outlive the
-	// layer loop.)
 	blob, err := p.Recv(ctx, term)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	x, _, err := tensor.Decode(blob)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	comm.ReleaseBuffer(blob)
 	ranges, err := c.scheme.Ranges(x.Rows())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	group, err := c.workerGroup(p, c.allRanks())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	state := &model.DecodeState{Layers: make([]*model.LayerState, len(m.Layers)), Pos: x.Rows()}
 	for li, layer := range m.Layers {
 		start := time.Now()
 		ls, err := layer.PrefillState(x)
 		if err != nil {
-			return fmt.Errorf("layer %d prefill: %w", li, err)
+			return nil, fmt.Errorf("layer %d prefill: %w", li, err)
 		}
 		state.Layers[li] = ls
 		part, _, err := layer.ForwardPartition(x, ranges[rank])
 		if err != nil {
-			return fmt.Errorf("layer %d: %w", li, err)
+			return nil, fmt.Errorf("layer %d: %w", li, err)
 		}
 		if pl := ranges[rank].Len(); pl > 0 {
 			cost, err := layer.Cost(x.Rows(), pl)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			// Cache building adds the K/V projections over the full
 			// sequence: 2·N·F·FH per head.
 			cost += 2 * int64(x.Rows()) * int64(layer.F()) * int64(layer.Attn.FH()) * int64(layer.Attn.H())
 			if err := c.paceRank(ctx, rank, start, cost); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		if li == len(m.Layers)-1 {
 			if err := p.Send(ctx, term, ex.Encode(part)); err != nil {
-				return err
+				return nil, err
 			}
 			break
 		}
 		x, err = comm.AllGatherMatrix(ctx, group, part, ranges, c.opts.RingAllGather)
 		if err != nil {
-			return fmt.Errorf("layer %d allgather: %w", li, err)
+			return nil, fmt.Errorf("layer %d allgather: %w", li, err)
 		}
 	}
-
-	// Decode loop: token frames until the zero-length shutdown frame.
-	for {
-		frame, err := p.Recv(ctx, term)
-		if err != nil {
-			return err
-		}
-		if len(frame) == 0 {
-			return nil
-		}
-		if len(frame) != 4 {
-			return fmt.Errorf("cluster: bad decode frame of %d bytes", len(frame))
-		}
-		id := int(binary.LittleEndian.Uint32(frame))
-		comm.ReleaseBuffer(frame)
-		start := time.Now()
-		row, err := m.DecodeStep(state, id)
-		if err != nil {
-			return err
-		}
-		if err := c.paceRank(ctx, rank, start, decodeStepCost(m, state.Pos)); err != nil {
-			return err
-		}
-		if rank == 0 {
-			if err := p.Send(ctx, term, ex.Encode(row)); err != nil {
-				return err
-			}
-		}
-	}
+	return state, nil
 }
 
-// decodeStepCost is the analytic Γ of one KV-cached decode step over the
-// whole stack at cache length t: per layer, H heads at 3·F·FH + 2·t·FH
-// each, the WO projection, the FFN and the layer norms.
-func decodeStepCost(m *model.Model, t int) int64 {
+// decodeStepCost is the analytic Γ of one fused KV-cached decode step over
+// the whole stack, summed across the batched sequences' cache lengths ts
+// (each t is a sequence's position after its token was appended): per layer
+// and sequence, H heads at 3·F·FH + 2·t·FH each, the WO projection, the FFN
+// and the layer norms. Fusing the batch does not change the MAC count —
+// every projection row is one sequence's — so the fused step's Γ is exactly
+// the sum of the solo steps it replaces, and the scheduler's per-sequence
+// shed-before-service estimate stays the solo Γ rather than B times it.
+func decodeStepCost(m *model.Model, ts ...int) int64 {
 	cfg := m.Cfg
 	f, fh, h, dff := int64(cfg.F), int64(cfg.FH()), int64(cfg.Heads), int64(cfg.FFN)
-	perLayer := h*(3*f*fh+2*int64(t)*fh) + f*f + 2*f*dff + 4*f
-	return perLayer * int64(cfg.Layers)
+	var total int64
+	for _, t := range ts {
+		perLayer := h*(3*f*fh+2*int64(t)*fh) + f*f + 2*f*dff + 4*f
+		total += perLayer * int64(cfg.Layers)
+	}
+	return total
 }

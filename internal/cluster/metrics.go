@@ -51,6 +51,14 @@ type clusterMetrics struct {
 	queueDepth   *metrics.Histogram
 	attemptsHist *metrics.Histogram
 
+	// Continuous batching: fused decode-step widths, join/leave churn, and
+	// how long each sequence waited before joining a batch.
+	batchSize   *metrics.Histogram
+	fusedSteps  *metrics.Counter
+	batchJoins  *metrics.Counter
+	batchLeaves *metrics.Counter
+	batchWait   *metrics.Histogram
+
 	queueLen *metrics.Gauge
 	inflight *metrics.Gauge
 
@@ -133,6 +141,18 @@ func newClusterMetrics(k int) *clusterMetrics {
 	m.attemptsHist = reg.Histogram("voltage_request_attempts",
 		"Dispatches needed per completed request (1 = clean first try).",
 		metrics.AttemptBuckets)
+
+	m.batchSize = reg.Histogram("voltage_batch_size",
+		"Sequences fused per batched decode step.", metrics.DepthBuckets)
+	m.fusedSteps = reg.Counter("voltage_fused_steps_total",
+		"Fused decode steps executed (one broadcast round per step, any width).")
+	m.batchJoins = reg.Counter("voltage_batch_joins_total",
+		"Sequences that joined a decode batch (prefill admitted).")
+	m.batchLeaves = reg.Counter("voltage_batch_leaves_total",
+		"Sequences that left a decode batch (completed, canceled, or failed).")
+	m.batchWait = reg.Histogram("voltage_batch_wait_seconds",
+		"Time each generate sequence waited before joining a decode batch.",
+		metrics.LatencyBuckets)
 
 	m.queueLen = reg.Gauge("voltage_queue_length",
 		"Requests currently waiting in the admission queue.")
@@ -258,6 +278,39 @@ func (m *clusterMetrics) fenceEnd(d time.Duration) {
 		return
 	}
 	m.fenceDur.Observe(d.Seconds())
+}
+
+// observeBatchStep records one fused decode step of the given width.
+func (m *clusterMetrics) observeBatchStep(width int) {
+	if m == nil {
+		return
+	}
+	m.batchSize.Observe(float64(width))
+	m.fusedSteps.Inc()
+}
+
+// batchJoin counts a sequence joining the decode batch.
+func (m *clusterMetrics) batchJoin() {
+	if m == nil {
+		return
+	}
+	m.batchJoins.Inc()
+}
+
+// batchLeave counts a sequence leaving the decode batch.
+func (m *clusterMetrics) batchLeave() {
+	if m == nil {
+		return
+	}
+	m.batchLeaves.Inc()
+}
+
+// observeBatchWait records how long a sequence waited to join a batch.
+func (m *clusterMetrics) observeBatchWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.batchWait.Observe(d.Seconds())
 }
 
 // inflightAdd tracks requests occupying the mesh.

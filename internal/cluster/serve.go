@@ -67,12 +67,21 @@ type request struct {
 	strategy Strategy
 	runner   strategyRunner
 
-	// Exactly one input set is populated, per runner kind.
-	x       *tensor.Matrix   // Infer strategies
-	prompt  []int            // generate
-	steps   int              // generate
-	onToken func(int)        // generate: per-token streaming callback (may be nil)
-	xs      []*tensor.Matrix // pipeline
+	// Exactly one input set is populated, per runner kind. Batched
+	// generation (batch.go) carries no input here: its sequences flow
+	// through the batcher and join the mesh request at step boundaries.
+	x  *tensor.Matrix   // Infer strategies
+	xs []*tensor.Matrix // pipeline
+
+	// scopes, when non-nil, pre-creates the per-rank stat scopes the
+	// serving loops would otherwise open themselves — batched generation
+	// snapshots them at each sequence's join and leave to carve
+	// per-sequence traffic out of one long-lived request.
+	scopes []*comm.ScopedPeer
+	// noTimeout exempts the request from Options.RequestTimeout: the
+	// batched-generate request lives as long as sequences keep arriving,
+	// so per-sequence deadlines ride on each sequence's own context.
+	noTimeout bool
 
 	// Fault-tolerance state (see retry.go). live lists the worker ranks
 	// serving this request (nil = all k); scheme overrides the cluster's
@@ -99,7 +108,6 @@ type request struct {
 
 	start      time.Time
 	output     *tensor.Matrix
-	genRes     *GenerateResult
 	pipeRes    *PipelineResult
 	latency    time.Duration
 	admitStats comm.Stats
@@ -110,6 +118,16 @@ type request struct {
 	once    sync.Once
 	err     error
 	done    chan struct{}
+}
+
+// scope returns rank's stat scope for this request: the pre-created one
+// when the submitter needs shared visibility (batched generation), a fresh
+// one otherwise.
+func (req *request) scope(c *Cluster, rank int) *comm.ScopedPeer {
+	if req.scopes != nil {
+		return req.scopes[rank]
+	}
+	return comm.Scoped(c.peers[rank])
 }
 
 // finish resolves the request exactly once.
@@ -267,7 +285,7 @@ func (c *Cluster) submit(ctx context.Context, req *request) (*Pending, error) {
 	req.done = make(chan struct{})
 	req.errs = make([]error, c.k+1)
 	req.perDevice = make([]comm.Stats, c.k+1)
-	if d := c.opts.RequestTimeout; d > 0 {
+	if d := c.opts.RequestTimeout; d > 0 && !req.noTimeout {
 		// The deadline bounds one attempt end to end; a drop anywhere in the
 		// mesh resolves as comm.ErrTimeout (normalized in collect) instead of
 		// hanging the serving loops.
@@ -433,7 +451,7 @@ func (c *Cluster) workerLoop(rank int) {
 	for {
 		select {
 		case req := <-c.admitCh[rank]:
-			scope := comm.Scoped(c.peers[rank])
+			scope := req.scope(c, rank)
 			err := req.runner.worker(req.ctx, c, scope, ex, rank, req)
 			req.errs[rank] = err
 			req.perDevice[rank] = scope.Stats()
@@ -481,7 +499,7 @@ func (c *Cluster) collectLoop() {
 // collect runs the terminal's result side of one request and finalizes its
 // latency, stats, and error.
 func (c *Cluster) collect(req *request, ex *comm.Exchange) {
-	scope := comm.Scoped(c.peers[c.terminalRank()])
+	scope := req.scope(c, c.terminalRank())
 	if req.runner.exclusive() {
 		req.start = time.Now()
 	}

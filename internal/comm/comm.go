@@ -153,6 +153,17 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
+// Sub returns the element-wise difference s−o — the traffic between two
+// snapshots of one scope (o taken earlier than s).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		BytesSent: s.BytesSent - o.BytesSent,
+		BytesRecv: s.BytesRecv - o.BytesRecv,
+		MsgsSent:  s.MsgsSent - o.MsgsSent,
+		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
+	}
+}
+
 // counters is the shared atomic implementation of Stats tracking.
 type counters struct {
 	bytesSent, bytesRecv atomic.Int64

@@ -182,6 +182,11 @@ func (e *Engine) GenerateStream(ctx context.Context, prompt []int, steps int, on
 	return e.cluster.GenerateVoltageStream(ctx, prompt, steps, onToken)
 }
 
+// BatchWidth reports how many generate sequences are currently live in or
+// waiting for the cluster's fused decode batch — the gateway's batch-aware
+// admission estimate divides serial service time by it.
+func (e *Engine) BatchWidth() int { return e.cluster.BatchWidth() }
+
 // Generate decodes `steps` tokens autoregressively with the decoder model,
 // running every forward pass distributed under the given strategy. Greedy
 // (argmax) decoding keeps the result deterministic.

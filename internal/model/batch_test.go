@@ -1,0 +1,118 @@
+package model
+
+import (
+	"testing"
+)
+
+// decodeStates prefills one DecodeState per prompt on m.
+func decodeStates(t *testing.T, m *Model, prompts [][]int) []*DecodeState {
+	t.Helper()
+	states := make([]*DecodeState, len(prompts))
+	for i, p := range prompts {
+		x, err := m.Embed.EmbedTokens(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s, err := m.Prefill(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[i] = s
+	}
+	return states
+}
+
+func TestDecodeStepBatchBitIdenticalToSolo(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{{1, 2, 3}, {9, 8, 7, 6, 5}, {4}}
+	batched := decodeStates(t, m, prompts)
+	solo := decodeStates(t, m, prompts)
+	ids := []int{2, 11, 5}
+	for round := 0; round < 4; round++ {
+		got, err := m.DecodeStepBatch(batched, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range solo {
+			want, err := m.DecodeStep(solo[i], ids[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRow, err := got.RowSlice(i, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gotRow.Equal(want) {
+				t.Fatalf("round %d sequence %d: batched decode not bit-identical", round, i)
+			}
+			if batched[i].Pos != solo[i].Pos {
+				t.Fatalf("round %d sequence %d: pos %d vs %d", round, i, batched[i].Pos, solo[i].Pos)
+			}
+			// Advance each sequence with a distinct next token.
+			ids[i] = (ids[i]*3 + i + 1) % m.Cfg.VocabSize
+		}
+	}
+}
+
+func TestDecodeStepBatchMembershipChurn(t *testing.T) {
+	// A sequence leaving the batch must not perturb the survivors: decode
+	// three together, drop the middle one, keep stepping the other two and
+	// compare against solo decoding throughout.
+	m, err := NewRandom(TinyDecoder(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{{3, 1, 4}, {1, 5, 9, 2}, {6, 5, 3, 5, 8}}
+	batched := decodeStates(t, m, prompts)
+	solo := decodeStates(t, m, prompts)
+	ids := []int{1, 2, 3}
+	step := func(states []*DecodeState, tokens []int, keep []int) {
+		t.Helper()
+		got, err := m.DecodeStepBatch(states, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bi, si := range keep {
+			want, err := m.DecodeStep(solo[si], tokens[bi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRow, err := got.RowSlice(bi, bi+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gotRow.Equal(want) {
+				t.Fatalf("sequence %d diverged after churn", si)
+			}
+		}
+	}
+	step(batched, ids, []int{0, 1, 2})
+	// Sequence 1 leaves; 0 and 2 continue fused.
+	survivors := []*DecodeState{batched[0], batched[2]}
+	step(survivors, []int{7, 8}, []int{0, 2})
+	step(survivors, []int{9, 10}, []int{0, 2})
+}
+
+func TestDecodeStepBatchValidation(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeStepBatch(nil, nil); err == nil {
+		t.Fatal("want error for empty batch")
+	}
+	states := decodeStates(t, m, [][]int{{1, 2}})
+	if _, err := m.DecodeStepBatch(states, []int{1, 2}); err == nil {
+		t.Fatal("want error for id/state count mismatch")
+	}
+	if _, err := m.DecodeStepBatch(states, []int{m.Cfg.VocabSize}); err == nil {
+		t.Fatal("want error for out-of-vocab token")
+	}
+	bad := []*DecodeState{{Layers: []*LayerState{nil}}}
+	if _, err := m.DecodeStepBatch(bad, []int{1}); err == nil {
+		t.Fatal("want error for layer-count mismatch")
+	}
+}

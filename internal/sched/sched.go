@@ -148,10 +148,23 @@ type Job struct {
 	// deadline-before-service check (0 skips the estimate and sheds only
 	// already-expired deadlines).
 	Est time.Duration
+	// EstFn, when non-nil, supersedes Est at each check (admission and the
+	// pre-dispatch recheck). A batch-aware backend divides its serial
+	// estimate by the current fused-batch width here, so shed-before-
+	// service does not overestimate service time for fused decode steps.
+	EstFn func() time.Duration
 	// Run executes the request. waited is the time the job spent queued —
 	// the gateway turns it into a queue span on the request trace. The
 	// context carries the job's deadline and the caller's cancellation.
 	Run func(ctx context.Context, waited time.Duration) error
+}
+
+// est resolves the job's service-time estimate at check time.
+func (j Job) est() time.Duration {
+	if j.EstFn != nil {
+		return j.EstFn()
+	}
+	return j.Est
 }
 
 // item is one queued job.
@@ -336,7 +349,7 @@ func (s *Scheduler) admit(ctx context.Context, job Job) (*item, error) {
 			return nil, fmt.Errorf("%w: batch traffic shed while degraded", ErrDegraded)
 		}
 	}
-	if !dl.IsZero() && now.Add(job.Est).After(dl) {
+	if !dl.IsZero() && now.Add(job.est()).After(dl) {
 		s.shedLocked(job.Class, shedDeadline)
 		return nil, ErrDeadlineBeforeService
 	}
@@ -459,7 +472,7 @@ func (s *Scheduler) run(it *item) {
 		s.shedLocked(it.job.Class, shedCanceled)
 		s.mu.Unlock()
 		err = it.ctx.Err()
-	case !it.dl.IsZero() && time.Now().Add(it.job.Est).After(it.dl):
+	case !it.dl.IsZero() && time.Now().Add(it.job.est()).After(it.dl):
 		// The queue wait consumed the deadline's slack: shed now instead
 		// of starting work that cannot finish in time.
 		s.mu.Lock()

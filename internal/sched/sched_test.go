@@ -138,6 +138,38 @@ func TestDeadlineBeforeServiceSheds(t *testing.T) {
 	}
 }
 
+func TestEstFnSupersedesEst(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	// The static estimate alone would shed this job; a batch-aware EstFn
+	// (serial estimate over the fused width) fits inside the deadline, so
+	// the job must run.
+	ran := false
+	err := s.Do(context.Background(), Job{
+		Deadline: time.Now().Add(500 * time.Millisecond),
+		Est:      time.Second,
+		EstFn:    func() time.Duration { return time.Second / 8 },
+		Run:      func(context.Context, time.Duration) error { ran = true; return nil },
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if !ran {
+		t.Fatal("job never ran")
+	}
+	// And the dynamic estimate can also shed where the static one would
+	// not: a width collapse between submissions re-inflates service time.
+	err = s.Do(context.Background(), Job{
+		Deadline: time.Now().Add(100 * time.Millisecond),
+		Est:      time.Millisecond,
+		EstFn:    func() time.Duration { return time.Second },
+		Run:      func(context.Context, time.Duration) error { t.Error("doomed job ran"); return nil },
+	})
+	if !errors.Is(err, ErrDeadlineBeforeService) {
+		t.Fatalf("Do = %v, want ErrDeadlineBeforeService", err)
+	}
+}
+
 func TestEDFOrderingWithinClass(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()

@@ -339,14 +339,15 @@ type generateRequest struct {
 // generateChunk is one streamed line of /v1/generate: token lines while
 // decoding, then a final summary line.
 type generateChunk struct {
-	Token     *int    `json:"token,omitempty"`
-	Index     int     `json:"index,omitempty"`
-	Done      bool    `json:"done,omitempty"`
-	Tokens    []int   `json:"tokens,omitempty"`
-	QueueMS   float64 `json:"queue_ms,omitempty"`
-	PrefillMS float64 `json:"prefill_ms,omitempty"`
-	DecodeMS  float64 `json:"decode_ms,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	Token       *int    `json:"token,omitempty"`
+	Index       int     `json:"index,omitempty"`
+	Done        bool    `json:"done,omitempty"`
+	Tokens      []int   `json:"tokens,omitempty"`
+	QueueMS     float64 `json:"queue_ms,omitempty"`
+	BatchWaitMS float64 `json:"batch_wait_ms,omitempty"`
+	PrefillMS   float64 `json:"prefill_ms,omitempty"`
+	DecodeMS    float64 `json:"decode_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 // handleGenerate serves POST /v1/generate through the batch queue,
@@ -396,6 +397,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Class:    sched.Batch,
 		Deadline: deadlineFor(req.TimeoutMS),
 		Est:      s.opts.EstimateBatch,
+		EstFn:    s.generateEst(),
 		Run: func(ctx context.Context, waited time.Duration) error {
 			index := 0
 			res, err := s.backend.GenerateStream(ctx, prompt, steps, func(tok int) {
@@ -407,11 +409,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 				return err
 			}
 			emit(generateChunk{
-				Done:      true,
-				Tokens:    res.Tokens,
-				QueueMS:   float64(waited) / float64(time.Millisecond),
-				PrefillMS: float64(res.PrefillLatency) / float64(time.Millisecond),
-				DecodeMS:  float64(res.DecodeLatency) / float64(time.Millisecond),
+				Done:        true,
+				Tokens:      res.Tokens,
+				QueueMS:     float64(waited) / float64(time.Millisecond),
+				BatchWaitMS: float64(res.BatchWait) / float64(time.Millisecond),
+				PrefillMS:   float64(res.PrefillLatency) / float64(time.Millisecond),
+				DecodeMS:    float64(res.DecodeLatency) / float64(time.Millisecond),
 			})
 			return nil
 		},
@@ -423,6 +426,33 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeError(w, err)
+	}
+}
+
+// batchWidther is the optional backend capability behind batch-aware
+// admission estimates: a continuously-batching engine reports how many
+// generate sequences currently share fused decode steps.
+type batchWidther interface {
+	BatchWidth() int
+}
+
+// generateEst returns the batch-aware service-time estimator for generate
+// jobs, or nil when the backend cannot report its fused-batch width (the
+// static Est then applies). A sequence joining a width-w batch shares each
+// fused step's round trip with w others, so the serial estimate divided by
+// the width is the shed-before-service bound — without this, the scheduler
+// would overestimate fused service time and shed work it could have served.
+func (s *Server) generateEst() func() time.Duration {
+	bw, ok := s.backend.(batchWidther)
+	if !ok || s.opts.EstimateBatch <= 0 {
+		return nil
+	}
+	est := s.opts.EstimateBatch
+	return func() time.Duration {
+		if w := bw.BatchWidth(); w > 1 {
+			return est / time.Duration(w)
+		}
+		return est
 	}
 }
 

@@ -26,6 +26,10 @@ const (
 	// per-class queues or the cluster's admission queue — before any device
 	// touched the request.
 	PhaseQueue
+	// PhaseBatchWait is time a generate sequence spent waiting to join the
+	// fused decode batch after submission (continuous batching), so
+	// queue-vs-fuse time is attributable per request.
+	PhaseBatchWait
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +43,8 @@ func (p Phase) String() string {
 		return "boundary"
 	case PhaseQueue:
 		return "queue"
+	case PhaseBatchWait:
+		return "batch_wait"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}

@@ -129,4 +129,76 @@ curl -fsS "http://$GW_ADDR/v1/queue" | grep -q '"interactive"' || {
 kill "$GW_PID" 2>/dev/null || true
 wait "$GW_PID" 2>/dev/null || true
 
+echo "== batched-decode smoke: concurrent /v1/generate streams fuse into one batch"
+# Start the gateway over a decoder engine with continuous batching on and a
+# generous coalescing window, fire 4 concurrent streaming generates, require
+# every stream to complete, then require the batch metrics to show fused
+# steps at width > 1 (the streams actually co-batched, not serialized).
+BD_ADDR="127.0.0.1:19157"
+BD_LOG="$(mktemp)"
+go run ./cmd/voltage-server -local 3 -model tiny-decoder -listen "$BD_ADDR" \
+    -gateway-workers 4 -max-batch 8 -batch-window 200ms \
+    -hold 60s -drain-timeout 5s >"$BD_LOG" 2>&1 &
+BD_PID=$!
+trap 'kill "$ADMIN_PID" "$GW_PID" "$BD_PID" 2>/dev/null || true; rm -f "$ADMIN_LOG" "$GW_LOG" "$BD_LOG"' EXIT
+BD_READY=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$BD_ADDR/healthz" 2>/dev/null | grep -q '"ok":true'; then
+        BD_READY=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$BD_READY" ]; then
+    echo "batched-decode smoke: gateway never became healthy" >&2
+    cat "$BD_LOG" >&2
+    exit 1
+fi
+BD_DIR="$(mktemp -d)"
+(
+    for i in 1 2 3 4; do
+        curl -sN -X POST "http://$BD_ADDR/v1/generate" \
+            -d "{\"prompt\":[$i,$((i+3)),$((i+7))],\"steps\":8}" \
+            >"$BD_DIR/stream$i" &
+    done
+    wait
+)
+for i in 1 2 3 4; do
+    grep -q '"done":true' "$BD_DIR/stream$i" || {
+        echo "batched-decode smoke: stream $i never completed" >&2
+        cat "$BD_DIR/stream$i" "$BD_LOG" >&2
+        exit 1
+    }
+    grep -q '"error"' "$BD_DIR/stream$i" && {
+        echo "batched-decode smoke: stream $i reported an error" >&2
+        cat "$BD_DIR/stream$i" >&2
+        exit 1
+    }
+done
+rm -rf "$BD_DIR"
+BD_METRICS="$(curl -fsS "http://$BD_ADDR/metrics")"
+for family in \
+    'voltage_batch_size_count' \
+    'voltage_fused_steps_total' \
+    'voltage_batch_joins_total' \
+    'voltage_batch_wait_seconds_count'; do
+    grep -qF "$family" <<<"$BD_METRICS" || {
+        echo "batched-decode smoke: /metrics missing $family" >&2
+        exit 1
+    }
+done
+# Mean fused width > 1 ⟺ histogram sum exceeds its count.
+awk '
+    /^voltage_batch_size_sum /   { sum = $2 }
+    /^voltage_batch_size_count / { count = $2 }
+    END {
+        if (count == 0 || sum <= count) {
+            printf "batched-decode smoke: mean batch width %.3f over %d steps, want > 1\n", \
+                (count ? sum / count : 0), count > "/dev/stderr"
+            exit 1
+        }
+    }' <<<"$BD_METRICS"
+kill "$BD_PID" 2>/dev/null || true
+wait "$BD_PID" 2>/dev/null || true
+
 echo "CI OK"

@@ -153,6 +153,12 @@ const (
 	PhaseComm = trace.PhaseComm
 	// PhaseBoundary is terminal input distribution / output collection.
 	PhaseBoundary = trace.PhaseBoundary
+	// PhaseQueue is admission-queue wait before any device touched the
+	// request.
+	PhaseQueue = trace.PhaseQueue
+	// PhaseBatchWait is time a generate sequence waited to join the fused
+	// decode batch (see ClusterOptions.MaxBatch).
+	PhaseBatchWait = trace.PhaseBatchWait
 )
 
 // Device health states (see ClusterOptions.MaxRetries / ProbeAfter).
