@@ -85,6 +85,8 @@ func run(args []string, w io.Writer) error {
 	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied to requests that carry none (0 = unbounded)")
 	estInteractive := fs.Duration("estimate-interactive", 0, "expected interactive service time for deadline shedding")
 	estBatch := fs.Duration("estimate-batch", 0, "expected batch service time for deadline shedding")
+	chaosKillRank := fs.Int("chaos-kill-rank", -1, "fault injection (-local only): worker rank whose transport dies mid-run (-1 = none; pair with -chaos-kill-after and -retries)")
+	chaosKillAfter := fs.Int64("chaos-kill-after", 0, "fault injection: the doomed rank's n-th transport receive, and every later one, fails")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 	hold := fs.Duration("hold", 0, "exit (with drain) after this long instead of waiting for a signal (tests, smoke)")
 	meshTimeout := fs.Duration("mesh-timeout", 10*time.Minute, "TCP mesh formation budget")
@@ -136,6 +138,7 @@ func run(args []string, w io.Writer) error {
 			QueueDepth:     *engineQueue,
 			MaxBatch:       *maxBatch,
 			BatchWindow:    *batchWindow,
+			WrapTransport:  chaosWrap(*chaosKillRank, *chaosKillAfter),
 		})
 		if err != nil {
 			return err
@@ -370,6 +373,22 @@ func (b *meshBackend) ClassifyTokens(ctx context.Context, strategy cluster.Strat
 			Attempts: 1,
 		},
 	}, nil
+}
+
+// chaosWrap builds the transport hook for -chaos-kill-rank: the doomed
+// rank's n-th receive (and every later one) fails, emulating a device that
+// dies at a deterministic protocol step — CI's end-to-end worker-kill smoke
+// drives the batched recovery path with it.
+func chaosWrap(rank int, after int64) func(int, comm.Peer) comm.Peer {
+	if rank < 0 || after <= 0 {
+		return nil
+	}
+	return func(r int, p comm.Peer) comm.Peer {
+		if r != rank {
+			return p
+		}
+		return &comm.FlakyPeer{Inner: p, FailRecvAfter: after}
+	}
 }
 
 // parseMeshStrategy maps the fleet strategy flag to the cluster enum.

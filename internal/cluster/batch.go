@@ -3,12 +3,14 @@ package cluster
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"voltage/internal/comm"
 	"voltage/internal/model"
+	"voltage/internal/partition"
 	"voltage/internal/tensor"
 	"voltage/internal/trace"
 )
@@ -34,6 +36,20 @@ import (
 // exactness), membership changes only happen between steps, and a lone
 // request degenerates to a batch of one — the old serial protocol.
 //
+// Fault tolerance (DESIGN.md "Fault-tolerant batching"): with
+// Options.MaxRetries > 0 a mid-batch device failure does not kill the
+// co-batched sequences. The failed round's surviving sequences park, the
+// blamed rank is recorded with the same health machinery the solo path
+// uses, and the next round re-slices the position-wise partition over the
+// survivors; each parked sequence resumes by re-prefilling its committed
+// prompt+generated prefix, so its greedy continuation is exactly the one an
+// uninterrupted run would have produced. Blast radius is isolated the other
+// way too: a fault attributable to one sequence (its caller canceling, its
+// own decode failing, its prefill partition arriving corrupt) retires that
+// sequence alone at a step boundary while the rest of the batch keeps
+// decoding. With no surviving worker, sequences fall back to the terminal
+// replica one at a time.
+//
 // Compatibility rules: every sequence on a cluster shares the replicated
 // model, greedy decoding, and the partition scheme, so any set of decoder
 // sequences is batch-compatible; sequences differ only in cache length and
@@ -50,6 +66,11 @@ const (
 	opStep    = 2
 	opLeave   = 3
 )
+
+// batchBackoff spaces recovery rounds after a batch fault, scaled by the
+// consecutive-fault count, so a flapping mesh is not hammered with
+// immediate re-prefills.
+const batchBackoff = 2 * time.Millisecond
 
 // batchSeq is one generate sequence flowing through the batcher. Ownership
 // is single-threaded at all times: the batcher owns it (under mu) while
@@ -71,6 +92,13 @@ type batchSeq struct {
 	last        *tensor.Matrix // final hidden row of the newest position
 	decodeStart time.Time
 	joinStats   []comm.Stats // per-rank scope snapshot at join
+
+	// Fault-recovery state. attempts counts batch rounds this sequence was
+	// dispatched into (prefilled or re-prefilled); parkedAt is non-zero
+	// while the sequence sits in pending after surviving a batch fault,
+	// waiting to resume from its committed tokens.
+	attempts int
+	parkedAt time.Time
 
 	err  error
 	done chan struct{}
@@ -138,6 +166,21 @@ func (b *batcher) release(n int) {
 	b.mu.Unlock()
 }
 
+// requeue moves parked sequences back to the front of the pending queue so
+// resumed work re-enters before newly arrived sequences.
+func (b *batcher) requeue(parked []*batchSeq) {
+	if len(parked) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.live -= len(parked)
+	next := make([]*batchSeq, 0, len(parked)+len(b.pending))
+	next = append(next, parked...)
+	next = append(next, b.pending...)
+	b.pending = next
+	b.mu.Unlock()
+}
+
 // width reports sequences live in or waiting for the batch.
 func (b *batcher) width() int {
 	b.mu.Lock()
@@ -147,20 +190,38 @@ func (b *batcher) width() int {
 
 // run drives batch requests through the serving runtime until the batch
 // drains. One run owns the "running" flag; a sequence arriving after the
-// final drain check starts a fresh run.
+// final drain check starts a fresh run. A batch request that dies to a
+// retryable fault is re-dispatched over the surviving workers, resuming
+// every parked sequence (see adjudicate).
 func (b *batcher) run() {
 	c := b.c
 	if w := c.opts.BatchWindow; w > 0 {
-		// Let a concurrent burst coalesce into the first fused round
-		// instead of starting a batch of one. Later arrivals join a
-		// running batch between steps, so only the first round waits.
-		select {
-		case <-time.After(w):
-		case <-c.serveCtx.Done():
-		}
+		b.coalesce(w)
 	}
+	faults := 0
 	for {
-		req := &request{runner: batchRunner{b}, supervised: true, noTimeout: true}
+		if !b.purgeCanceled() {
+			return // nothing pending or live: the run retired
+		}
+		live, scheme, degraded, perr := b.plan()
+		if perr != nil {
+			b.failPending(perr)
+			return
+		}
+		if live != nil && len(live) == 0 {
+			// No surviving worker: serve each pending sequence on the
+			// terminal replica alone, then re-check for arrivals.
+			b.fallbackPending()
+			continue
+		}
+		// Fenced when fault-tolerant: a failed round's residue is flushed
+		// before the next round enters, and the abort path preserves the
+		// attributed per-rank errors blame voting needs.
+		req := &request{
+			runner: batchRunner{b}, supervised: true, noTimeout: true,
+			live: live, scheme: scheme, degraded: degraded,
+			fenced: c.opts.MaxRetries > 0,
+		}
 		// Scopes are pre-created so the terminal can snapshot every rank's
 		// counters at each sequence's join and leave — per-sequence traffic
 		// deltas inside one long-lived mesh request.
@@ -185,12 +246,241 @@ func (b *batcher) run() {
 			}
 			return
 		}
-		if len(b.pending) == 0 {
-			b.running = false
-			b.mu.Unlock()
-			return
+		b.mu.Unlock()
+		if err != nil {
+			continue // submission failed; the shutdown check above decides
+		}
+		if req.err != nil {
+			faults++
+			b.adjudicate(req, faults)
+			continue
+		}
+		faults = 0
+		if c.opts.MaxRetries > 0 {
+			// A clean round is the probe result for any probing rank.
+			c.health.recordSuccess(req.liveRanks(c))
+		}
+	}
+}
+
+// coalesce waits out the batch window so a concurrent burst fuses into the
+// first round, waking early when every pending sequence has been canceled —
+// an abandoned window must not cost a fenced mesh round for an empty batch.
+func (b *batcher) coalesce(w time.Duration) {
+	c := b.c
+	deadline := time.NewTimer(w)
+	defer deadline.Stop()
+	for {
+		var cancel <-chan struct{}
+		b.mu.Lock()
+		waiting := len(b.pending)
+		for _, s := range b.pending {
+			if s.ctx.Err() == nil {
+				cancel = s.ctx.Done()
+				break
+			}
 		}
 		b.mu.Unlock()
+		if waiting > 0 && cancel == nil {
+			return // every pending sequence is already canceled
+		}
+		select {
+		case <-deadline.C:
+			return
+		case <-c.serveCtx.Done():
+			return
+		case <-cancel:
+			// A waiter was abandoned; re-inspect the rest of the window.
+		}
+	}
+}
+
+// purgeCanceled resolves pending sequences whose callers are gone without
+// spending a mesh round on them, and reports whether the run continues.
+// When nothing is left pending or live it retires the run (clearing the
+// running flag under the same lock add() checks) and returns false.
+func (b *batcher) purgeCanceled() bool {
+	c := b.c
+	b.mu.Lock()
+	var dropped []*batchSeq
+	keep := b.pending[:0]
+	for _, s := range b.pending {
+		if s.ctx.Err() != nil {
+			dropped = append(dropped, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	b.pending = keep
+	idle := len(b.pending) == 0 && b.live == 0
+	if idle {
+		b.running = false
+	}
+	b.mu.Unlock()
+	for _, s := range dropped {
+		c.metrics.canceledInQueue()
+		s.finish(s.ctx.Err())
+	}
+	return !idle
+}
+
+// plan picks the worker set for the next batch round. With fault tolerance
+// off, every round runs the full mesh (nil live set). Otherwise the health
+// tracker decides between a full round, a degraded round re-sliced over the
+// survivors, and — empty live set — terminal-local fallback.
+func (b *batcher) plan() (live []int, scheme *partition.Scheme, degraded bool, err error) {
+	c := b.c
+	if c.opts.MaxRetries == 0 {
+		return nil, nil, false, nil
+	}
+	hl := c.health.live(time.Now())
+	if len(hl) == c.k {
+		return nil, nil, false, nil
+	}
+	if len(hl) == 0 {
+		return []int{}, nil, true, nil
+	}
+	s, err := c.degradedScheme(hl)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return hl, s, true, nil
+}
+
+// failPending resolves every pending sequence with a planning error and
+// retires the run.
+func (b *batcher) failPending(err error) {
+	b.mu.Lock()
+	pending := b.pending
+	b.pending = nil
+	b.running = false
+	b.mu.Unlock()
+	for _, s := range pending {
+		s.finish(err)
+	}
+}
+
+// adjudicate decides each parked sequence's fate after a batch round died:
+// on a retryable fault the blamed rank is marked unhealthy and in-budget
+// sequences stay pending to resume next round; exhausted sequences — and
+// every parked sequence when the fault is not retryable or fault tolerance
+// is off — resolve with the round's error. Fresh sequences that never rode
+// the dead round are left untouched.
+func (b *batcher) adjudicate(req *request, faults int) {
+	c := b.c
+	cause := req.err
+	recoverable := c.opts.MaxRetries > 0 && retryable(cause)
+	if recoverable {
+		// req.errs is safe to read here: collect() waits for every worker
+		// before resolving the request.
+		if blamed, bcause := blameRank(req.errs, c.k); blamed >= 0 {
+			c.health.recordFailure(blamed, bcause)
+		}
+		c.metrics.batchRecovery(cause)
+	}
+	budget := 1 + c.opts.MaxRetries
+	var doomed []*batchSeq
+	b.mu.Lock()
+	keep := b.pending[:0]
+	for _, s := range b.pending {
+		switch {
+		case s.parkedAt.IsZero(): // never rode the dead round
+			keep = append(keep, s)
+		case recoverable && s.attempts < budget:
+			keep = append(keep, s)
+		default:
+			doomed = append(doomed, s)
+		}
+	}
+	b.pending = keep
+	b.mu.Unlock()
+	for _, s := range doomed {
+		err := cause
+		if recoverable {
+			err = fmt.Errorf("cluster: %d attempts exhausted: %w", s.attempts, cause)
+		}
+		b.resolve(req, s, err)
+	}
+	if recoverable {
+		select {
+		case <-time.After(time.Duration(faults) * batchBackoff):
+		case <-c.serveCtx.Done():
+		}
+	}
+}
+
+// fallbackPending serves pending sequences on the terminal's own replica
+// when no worker rank is eligible — degraded mode's last resort. Each
+// sequence re-prefills its committed prefix locally and decodes unpaced,
+// with no mesh traffic; resumed streams continue exactly where they
+// stopped.
+func (b *batcher) fallbackPending() {
+	for {
+		taken := b.take(1)
+		if len(taken) == 0 {
+			return
+		}
+		b.fallbackSeq(taken[0])
+	}
+}
+
+// fallbackSeq is one sequence's terminal-local serve (see fallbackPending).
+func (b *batcher) fallbackSeq(s *batchSeq) {
+	c := b.c
+	if err := s.ctx.Err(); err != nil {
+		c.metrics.canceledInQueue()
+		b.release(1)
+		s.finish(err)
+		return
+	}
+	s.attempts++
+	if !s.parkedAt.IsZero() {
+		s.trace.Add(c.terminalRank(), -1, trace.PhaseRecover, time.Since(s.parkedAt))
+		c.metrics.phase(trace.PhaseRecover, time.Since(s.parkedAt))
+		c.metrics.batchSeqResumed()
+		s.parkedAt = time.Time{}
+	}
+	s.res.Degraded = true
+	done := func(cause error) {
+		b.resolve(nil, s, cause)
+		b.release(1)
+	}
+	m := c.models[0]
+	prefix := s.prompt
+	if len(s.tokens) > 0 {
+		prefix = s.tokens
+	}
+	start := time.Now()
+	last, state, err := m.ResumeState(prefix)
+	if err != nil {
+		done(err)
+		return
+	}
+	s.res.PrefillLatency += time.Since(start)
+	if len(s.tokens) == 0 {
+		s.tokens = make([]int, len(s.prompt), len(s.prompt)+s.steps)
+		copy(s.tokens, s.prompt)
+	}
+	s.last = last
+	s.decodeStart = time.Now()
+	c.metrics.fallbackServed()
+	for {
+		if err := s.ctx.Err(); err != nil {
+			done(err)
+			return
+		}
+		if err := b.produce(m, s); err != nil {
+			done(err)
+			return
+		}
+		if s.exhausted(c) {
+			done(nil)
+			return
+		}
+		if s.last, err = m.DecodeStep(state, s.tokens[len(s.tokens)-1]); err != nil {
+			done(err)
+			return
+		}
 	}
 }
 
@@ -213,24 +503,34 @@ func (r batchRunner) collect(ctx context.Context, c *Cluster, p comm.Peer, ex *c
 }
 
 func (batchRunner) worker(ctx context.Context, c *Cluster, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
-	return c.batchWorker(ctx, p, ex, rank)
+	return c.batchWorker(ctx, p, ex, rank, req)
 }
 
 // terminal drives the batch from the terminal device: join, produce, fused
-// step, repeat until the batch drains.
+// step, repeat until the batch drains. Degraded rounds run over the
+// request's live ranks only; the lowest live rank reports the fused rows.
 func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, req *request) error {
 	c := b.c
 	m := c.models[0] // pre/post-processing replica
 	maxBatch := c.maxBatch()
+	ranks := req.liveRanks(c)
 	var live []*batchSeq
-	// fail resolves every live sequence with the batch's fatal error. The
-	// workers are released by collect's abort (request-context cancel), so
-	// no shutdown frames are attempted on a possibly wedged mesh.
+	// fail tears the round down on a mesh fault: sequences whose callers
+	// are gone resolve with their own context error, the rest park for the
+	// next round's resumption — adjudicate (run loop) then blames the rank
+	// and decides, with the elected root cause in hand, which parked
+	// sequences are still in budget. The workers are released by collect's
+	// abort; no shutdown frames are attempted on a possibly wedged mesh.
 	fail := func(err error) error {
-		cause := fmt.Errorf("cluster: batched generate: %w", err)
+		var parked []*batchSeq
 		for _, s := range live {
-			b.leaveLocked(req, s, cause)
+			if cerr := s.ctx.Err(); cerr != nil {
+				b.leaveLocked(req, s, cerr)
+				continue
+			}
+			parked = append(parked, b.park(req, s))
 		}
+		b.requeue(parked)
 		live = nil
 		return err
 	}
@@ -245,8 +545,8 @@ func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, 
 			for i, s := range taken {
 				joined, err := b.join(ctx, p, ex, req, s)
 				if err != nil {
-					// Resolve the failed joiner and the not-yet-joined
-					// remainder along with the live batch.
+					// Park or resolve the failed joiner and the not-yet-
+					// joined remainder along with the live batch.
 					live = append(live, taken[i:]...)
 					return fail(err)
 				}
@@ -258,7 +558,7 @@ func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, 
 		first = false
 		if len(live) == 0 {
 			// Batch drained: release the workers and retire the request.
-			for r := 0; r < c.k; r++ {
+			for _, r := range ranks {
 				if err := p.Send(ctx, r, []byte{}); err != nil {
 					return err
 				}
@@ -268,12 +568,12 @@ func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, 
 
 		// Produce boundary: decode each live sequence's next token;
 		// finished, canceled, or failed sequences leave without touching
-		// the others' caches.
+		// the others' caches — per-sequence faults stop here.
 		keep := live[:0]
 		for i, s := range live {
 			// A mesh fault while notifying a departure is fatal for the
 			// batch: the kept sequences plus the not-yet-visited remainder
-			// all resolve with it (s itself was resolved by leave).
+			// all park or resolve with it (s itself was resolved by leave).
 			lerr := error(nil)
 			if err := s.ctx.Err(); err != nil {
 				lerr = b.leave(ctx, p, req, s, err)
@@ -292,14 +592,15 @@ func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, 
 			continue // maybe joiners arrived while producing
 		}
 
-		// Fused step: one frame out, one fused hidden matrix back.
+		// Fused step: one frame out, one fused hidden matrix back from the
+		// lowest live rank.
 		frame := stepFrame(live)
-		for r := 0; r < c.k; r++ {
+		for _, r := range ranks {
 			if err := p.Send(ctx, r, frame); err != nil {
 				return fail(err)
 			}
 		}
-		got, err := p.Recv(ctx, 0) // worker 0 reports the fused hidden rows
+		got, err := p.Recv(ctx, ranks[0])
 		if err != nil {
 			return fail(err)
 		}
@@ -342,18 +643,22 @@ func (s *batchSeq) exhausted(c *Cluster) bool {
 	return s.produced >= s.steps || len(s.tokens) >= c.cfg.MaxSeq
 }
 
-// join admits one pending sequence into the batch: its prompt prefills
-// through Algorithm 2 (building caches on every worker) while the rest of
-// the batch waits at the step boundary. Prefills of a burst run
+// join admits one pending sequence into the batch: its prompt — or, when
+// resuming after a batch fault, its committed prompt+generated prefix —
+// prefills through Algorithm 2 (building caches on every live worker) while
+// the rest of the batch waits at the step boundary. Prefills of a burst run
 // back-to-back, each its own Algorithm-2 round, so the partition math is
-// untouched. Returns joined=false for sequence-local failures (resolved
-// here); a non-nil error is a mesh fault, fatal for the whole batch.
+// untouched. Returns joined=false for sequence-local failures (resolved or
+// re-parked here); a non-nil error is a mesh fault, fatal for the round.
 func (b *batcher) join(ctx context.Context, p comm.Peer, ex *comm.Exchange, req *request, s *batchSeq) (bool, error) {
 	c := b.c
-	wait := time.Since(s.enq)
-	s.res.BatchWait = wait
-	s.trace.AddAt(c.terminalRank(), -1, trace.PhaseBatchWait, 0, wait)
-	c.metrics.observeBatchWait(wait)
+	resuming := !s.parkedAt.IsZero()
+	if !resuming {
+		wait := time.Since(s.enq)
+		s.res.BatchWait = wait
+		s.trace.AddAt(c.terminalRank(), -1, trace.PhaseBatchWait, 0, wait)
+		c.metrics.observeBatchWait(wait)
+	}
 	if err := s.ctx.Err(); err != nil {
 		// Abandoned while waiting to join: never dispatched to the mesh,
 		// same accounting as the dispatcher's queued-cancel drop.
@@ -362,10 +667,21 @@ func (b *batcher) join(ctx context.Context, p comm.Peer, ex *comm.Exchange, req 
 		s.finish(err)
 		return false, nil
 	}
-	x, err := c.models[0].Embed.EmbedTokens(s.prompt)
+	prefix := s.prompt
+	if len(s.tokens) > 0 {
+		prefix = s.tokens // resume from the committed prefix
+	}
+	x, err := c.models[0].Embed.EmbedTokens(prefix)
 	if err != nil {
 		b.leaveLocked(req, s, err)
 		return false, nil
+	}
+	s.attempts++
+	if resuming {
+		s.trace.Add(c.terminalRank(), -1, trace.PhaseRecover, time.Since(s.parkedAt))
+		c.metrics.phase(trace.PhaseRecover, time.Since(s.parkedAt))
+		c.metrics.batchSeqResumed()
+		s.parkedAt = time.Time{}
 	}
 	s.joinStats = make([]comm.Stats, len(req.scopes))
 	for r, sc := range req.scopes {
@@ -377,7 +693,8 @@ func (b *batcher) join(ctx context.Context, p comm.Peer, ex *comm.Exchange, req 
 	hdr[0] = opPrefill
 	binary.LittleEndian.PutUint32(hdr[1:], s.id)
 	blob := ex.Encode(x)
-	for r := 0; r < c.k; r++ {
+	ranks := req.liveRanks(c)
+	for _, r := range ranks {
 		if err := p.Send(ctx, r, hdr[:]); err != nil {
 			return false, err
 		}
@@ -385,14 +702,27 @@ func (b *batcher) join(ctx context.Context, p comm.Peer, ex *comm.Exchange, req 
 			return false, err
 		}
 	}
-	out, err := c.collectPartitions(ctx, p, ex, c.allRanks(), x.Rows())
+	out, seqErr, err := b.collectJoin(ctx, p, ex, ranks, x.Rows())
 	if err != nil {
 		return false, err
 	}
-	s.res.PrefillLatency = time.Since(start)
-	s.trace.Add(c.terminalRank(), -1, trace.PhaseBoundary, s.res.PrefillLatency)
-	s.tokens = make([]int, len(s.prompt), len(s.prompt)+s.steps)
-	copy(s.tokens, s.prompt)
+	if seqErr != nil {
+		// Every live rank delivered (the corrupt partition was consumed, so
+		// the streams stay aligned) and every worker holds the new caches:
+		// drop them and retire or re-park this joiner alone — the rest of
+		// the batch never stops.
+		if lerr := b.dropSeq(ctx, p, ranks, s); lerr != nil {
+			return false, lerr
+		}
+		b.retireJoin(req, s, seqErr)
+		return false, nil
+	}
+	s.res.PrefillLatency += time.Since(start)
+	s.trace.Add(c.terminalRank(), -1, trace.PhaseBoundary, time.Since(start))
+	if len(s.tokens) == 0 {
+		s.tokens = make([]int, len(s.prompt), len(s.prompt)+s.steps)
+		copy(s.tokens, s.prompt)
+	}
 	if s.last, err = out.RowSlice(out.Rows()-1, out.Rows()); err != nil {
 		return false, err
 	}
@@ -400,45 +730,163 @@ func (b *batcher) join(ctx context.Context, p comm.Peer, ex *comm.Exchange, req 
 	return true, nil
 }
 
+// collectJoin receives one prefill partition from every live rank, draining
+// all of them even after a failure so the FIFO streams stay aligned for the
+// rest of the batch. A corrupt or undecodable partition — attributed to its
+// sender by the frame checksum — is returned as the sequence-local seqErr;
+// any other receive failure is a mesh fault (err), fatal for the round.
+func (b *batcher) collectJoin(ctx context.Context, p comm.Peer, ex *comm.Exchange, ranks []int, n int) (*tensor.Matrix, error, error) {
+	pool := ex.Pool()
+	parts := make([]*tensor.Matrix, 0, len(ranks))
+	var seqErr, meshErr error
+	for _, r := range ranks {
+		got, err := p.Recv(ctx, r)
+		if err != nil {
+			if errors.Is(err, comm.ErrCorrupt) {
+				if seqErr == nil {
+					seqErr = err
+				}
+				continue // frame consumed; keep draining the other ranks
+			}
+			meshErr = err
+			break
+		}
+		part, _, err := tensor.DecodePooled(pool, got)
+		comm.ReleaseBuffer(got)
+		if err != nil {
+			if seqErr == nil {
+				seqErr = err // hostile payload on a delivered frame
+			}
+			continue
+		}
+		parts = append(parts, part)
+	}
+	if meshErr != nil || seqErr != nil {
+		for _, part := range parts {
+			pool.Put(part)
+		}
+		return nil, seqErr, meshErr
+	}
+	out, err := tensor.ConcatRows(parts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, part := range parts {
+		pool.Put(part)
+	}
+	if out.Rows() != n {
+		return nil, nil, fmt.Errorf("cluster: assembled %d rows, want %d", out.Rows(), n)
+	}
+	return out, nil, nil
+}
+
+// retireJoin handles a sequence-local join failure (its own prefill
+// partition arrived corrupt): the blamed sender is recorded with the health
+// machinery, and the sequence alone retries next round or resolves — the
+// rest of the batch never stops decoding.
+func (b *batcher) retireJoin(req *request, s *batchSeq, cause error) {
+	c := b.c
+	if c.opts.MaxRetries > 0 {
+		if r, ok := comm.RemoteRank(cause); ok {
+			c.health.recordFailure(r, cause)
+		}
+		if retryable(cause) && s.attempts < 1+c.opts.MaxRetries {
+			b.requeue([]*batchSeq{b.park(req, s)})
+			return
+		}
+	}
+	b.leaveLocked(req, s, fmt.Errorf("cluster: batched prefill: %w", cause))
+}
+
+// park pulls a surviving sequence out of a dead round: the residency it
+// already paid (decode time, traffic) folds into its result, its committed
+// tokens stay for the resume prefill, and parkedAt starts the recovery
+// span. The caller moves it back to pending via requeue.
+func (b *batcher) park(req *request, s *batchSeq) *batchSeq {
+	b.accumulate(req, s)
+	if req.degraded {
+		s.res.Degraded = true
+	}
+	s.last = nil
+	s.parkedAt = time.Now()
+	return s
+}
+
 // leave removes a resolved sequence from the batch, telling the workers to
 // drop its caches. cause nil is normal completion. The returned error is a
 // mesh fault encountered while notifying (the sequence itself is resolved
 // either way).
 func (b *batcher) leave(ctx context.Context, p comm.Peer, req *request, s *batchSeq, cause error) error {
-	c := b.c
-	var frame [5]byte
-	frame[0] = opLeave
-	binary.LittleEndian.PutUint32(frame[1:], s.id)
-	var sendErr error
-	for r := 0; r < c.k; r++ {
-		if err := p.Send(ctx, r, frame[:]); err != nil {
-			sendErr = err
-			break
-		}
-	}
+	sendErr := b.dropSeq(ctx, p, req.liveRanks(b.c), s)
 	b.leaveLocked(req, s, cause)
 	return sendErr
 }
 
-// leaveLocked finalizes a sequence's result and accounting without touching
-// the mesh (the workers either already dropped it, never held it, or are
-// being torn down with the whole batch).
-func (b *batcher) leaveLocked(req *request, s *batchSeq, cause error) {
-	c := b.c
-	if !s.decodeStart.IsZero() {
-		s.res.DecodeLatency = time.Since(s.decodeStart)
-	}
-	s.res.Tokens = s.tokens
-	if s.joinStats != nil {
-		s.res.PerDevice = make([]comm.Stats, len(req.scopes))
-		for r, sc := range req.scopes {
-			s.res.PerDevice[r] = sc.Stats().Sub(s.joinStats[r])
+// dropSeq tells every live worker to discard one sequence's caches.
+func (b *batcher) dropSeq(ctx context.Context, p comm.Peer, ranks []int, s *batchSeq) error {
+	var frame [5]byte
+	frame[0] = opLeave
+	binary.LittleEndian.PutUint32(frame[1:], s.id)
+	for _, r := range ranks {
+		if err := p.Send(ctx, r, frame[:]); err != nil {
+			return err
 		}
 	}
-	c.metrics.batchLeave()
-	c.metrics.observeRequest(1, false, cause)
+	return nil
+}
+
+// leaveLocked finalizes a live sequence's result and accounting without
+// touching the mesh (the workers either already dropped it, never held it,
+// or are being torn down with the whole round).
+func (b *batcher) leaveLocked(req *request, s *batchSeq, cause error) {
+	b.resolve(req, s, cause)
 	b.release(1)
+}
+
+// resolve hands a sequence back to its caller with its accumulated result.
+// req may be nil (terminal-local fallback). Pending sequences resolved by
+// adjudicate come through here too — they hold no live slot, so resolve
+// itself releases nothing.
+func (b *batcher) resolve(req *request, s *batchSeq, cause error) {
+	c := b.c
+	b.accumulate(req, s)
+	s.res.Tokens = s.tokens
+	s.res.Attempts = s.attempts
+	if s.res.Attempts < 1 {
+		s.res.Attempts = 1
+	}
+	if req != nil && req.degraded {
+		s.res.Degraded = true
+	}
+	if cause != nil && !errors.Is(cause, context.Canceled) {
+		c.metrics.batchSeqFailed()
+	}
+	c.metrics.observeRequest(s.res.Attempts, s.res.Degraded, cause)
 	s.finish(cause)
+}
+
+// accumulate folds the sequence's current batch residency into its result:
+// decode time since join and per-rank traffic deltas. It is idempotent per
+// residency (joinStats clears), so a parked-then-resolved sequence counts
+// each round exactly once; the batch-leave counter mirrors the join counter
+// by firing only for residencies that actually joined.
+func (b *batcher) accumulate(req *request, s *batchSeq) {
+	c := b.c
+	if !s.decodeStart.IsZero() {
+		s.res.DecodeLatency += time.Since(s.decodeStart)
+		s.decodeStart = time.Time{}
+	}
+	if s.joinStats == nil {
+		return
+	}
+	if s.res.PerDevice == nil {
+		s.res.PerDevice = make([]comm.Stats, len(req.scopes))
+	}
+	for r, sc := range req.scopes {
+		s.res.PerDevice[r] = s.res.PerDevice[r].Add(sc.Stats().Sub(s.joinStats[r]))
+	}
+	s.joinStats = nil
+	c.metrics.batchLeave()
 }
 
 // stepFrame encodes one fused decode step: every live sequence's id and
@@ -459,8 +907,14 @@ func stepFrame(live []*batchSeq) []byte {
 // batchWorker serves one device's side of the batch: sequences prefill into
 // a cache table, fused step frames advance every listed cache with one
 // batched matmul per weight per layer, and leave frames drop caches. Frame
-// order on the FIFO link from the terminal is the protocol.
-func (c *Cluster) batchWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int) error {
+// order on the FIFO link from the terminal is the protocol. Ranks excluded
+// from a degraded round idle through the whole request; the lowest live
+// rank reports the fused rows.
+func (c *Cluster) batchWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int, req *request) error {
+	me := req.liveIndex(c, rank)
+	if me < 0 {
+		return nil // excluded from this degraded round
+	}
 	term := c.terminalRank()
 	m := c.models[rank]
 	states := make(map[uint32]*model.DecodeState)
@@ -479,7 +933,7 @@ func (c *Cluster) batchWorker(ctx context.Context, p comm.Peer, ex *comm.Exchang
 			}
 			id := binary.LittleEndian.Uint32(frame[1:])
 			comm.ReleaseBuffer(frame)
-			state, err := c.prefillWorker(ctx, p, ex, rank)
+			state, err := c.prefillWorker(ctx, p, ex, rank, req)
 			if err != nil {
 				return err
 			}
@@ -519,7 +973,7 @@ func (c *Cluster) batchWorker(ctx context.Context, p comm.Peer, ex *comm.Exchang
 			if err := c.paceRank(ctx, rank, start, decodeStepCost(m, positions...)); err != nil {
 				return err
 			}
-			if rank == 0 {
+			if me == 0 {
 				if err := p.Send(ctx, term, ex.Encode(rows)); err != nil {
 					return err
 				}

@@ -46,6 +46,15 @@ type GenerateResult struct {
 	// behalf of every co-batched sequence, so overlapping requests share
 	// these bytes.
 	PerDevice []comm.Stats
+	// Attempts counts how many times this sequence was dispatched into a
+	// batch round (1 = never interrupted). A mid-batch device failure parks
+	// the sequence and re-prefills it on the survivors, costing one attempt
+	// from the Options.MaxRetries budget.
+	Attempts int
+	// Degraded reports that the sequence was resident on fewer than K
+	// workers at some point — it rode out a fault on a re-sliced partition
+	// or on the terminal's local fallback. Outputs are still exact.
+	Degraded bool
 	// Trace holds the request's span trace when Options.TraceRequests is
 	// set (nil otherwise).
 	Trace *trace.RequestTrace
@@ -120,10 +129,14 @@ func (c *Cluster) GenerateVoltageStream(ctx context.Context, prompt []int, steps
 // prefillWorker runs the worker side of one sequence's prefill: Algorithm 2
 // with cache building. The worker caches every layer's K/V from the layer
 // input it holds after each All-Gather. (Activations are not recycled here:
-// the prefill state outlives the layer loop.)
-func (c *Cluster) prefillWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int) (*model.DecodeState, error) {
+// the prefill state outlives the layer loop.) The partition and gather
+// group come from the request, so a degraded batch round — re-sliced over
+// the survivors after a device failure — prefills over exactly its live
+// ranks.
+func (c *Cluster) prefillWorker(ctx context.Context, p comm.Peer, ex *comm.Exchange, rank int, req *request) (*model.DecodeState, error) {
 	term := c.terminalRank()
 	m := c.models[rank]
+	me := req.liveIndex(c, rank)
 	blob, err := p.Recv(ctx, term)
 	if err != nil {
 		return nil, err
@@ -133,11 +146,11 @@ func (c *Cluster) prefillWorker(ctx context.Context, p comm.Peer, ex *comm.Excha
 		return nil, err
 	}
 	comm.ReleaseBuffer(blob)
-	ranges, err := c.scheme.Ranges(x.Rows())
+	ranges, err := req.partitionScheme(c).Ranges(x.Rows())
 	if err != nil {
 		return nil, err
 	}
-	group, err := c.workerGroup(p, c.allRanks())
+	group, err := c.workerGroup(p, req.liveRanks(c))
 	if err != nil {
 		return nil, err
 	}
@@ -149,11 +162,11 @@ func (c *Cluster) prefillWorker(ctx context.Context, p comm.Peer, ex *comm.Excha
 			return nil, fmt.Errorf("layer %d prefill: %w", li, err)
 		}
 		state.Layers[li] = ls
-		part, _, err := layer.ForwardPartition(x, ranges[rank])
+		part, _, err := layer.ForwardPartition(x, ranges[me])
 		if err != nil {
 			return nil, fmt.Errorf("layer %d: %w", li, err)
 		}
-		if pl := ranges[rank].Len(); pl > 0 {
+		if pl := ranges[me].Len(); pl > 0 {
 			cost, err := layer.Cost(x.Rows(), pl)
 			if err != nil {
 				return nil, err

@@ -59,6 +59,17 @@ type clusterMetrics struct {
 	batchLeaves *metrics.Counter
 	batchWait   *metrics.Histogram
 
+	// Batch fault recovery: failed fused rounds whose survivors were
+	// re-sliced and resumed (by cause), plus blast-radius accounting — how
+	// many co-batched sequences a fault actually killed versus how many were
+	// parked and resumed.
+	recTimeout   *metrics.Counter
+	recCorrupt   *metrics.Counter
+	recInjected  *metrics.Counter
+	recOther     *metrics.Counter
+	seqsFailed   *metrics.Counter
+	seqsResumed  *metrics.Counter
+
 	queueLen *metrics.Gauge
 	inflight *metrics.Gauge
 
@@ -89,6 +100,7 @@ type clusterMetrics struct {
 	phaseCompute  *metrics.Counter
 	phaseComm     *metrics.Counter
 	phaseBoundary *metrics.Counter
+	phaseRecover  *metrics.Counter
 }
 
 // rankLabel names a mesh rank for metric labels; the terminal (rank k)
@@ -154,6 +166,17 @@ func newClusterMetrics(k int) *clusterMetrics {
 		"Time each generate sequence waited before joining a decode batch.",
 		metrics.LatencyBuckets)
 
+	recoveries := reg.CounterVec("voltage_batch_recoveries_total",
+		"Batch rounds that died to a retryable fault and were re-dispatched over the surviving workers, by cause.", "cause")
+	m.recTimeout = recoveries.With("timeout")
+	m.recCorrupt = recoveries.With("corrupt")
+	m.recInjected = recoveries.With("injected")
+	m.recOther = recoveries.With("other")
+	m.seqsFailed = reg.Counter("voltage_batch_seqs_failed_total",
+		"Co-batched sequences resolved with a fault error — the blast radius actually paid.")
+	m.seqsResumed = reg.Counter("voltage_batch_seqs_resumed_total",
+		"Co-batched sequences parked across a batch fault and requeued for resumption — the blast radius avoided.")
+
 	m.queueLen = reg.Gauge("voltage_queue_length",
 		"Requests currently waiting in the admission queue.")
 	m.inflight = reg.Gauge("voltage_inflight_requests",
@@ -208,6 +231,7 @@ func newClusterMetrics(k int) *clusterMetrics {
 	m.phaseCompute = phase.With(trace.PhaseCompute.String())
 	m.phaseComm = phase.With(trace.PhaseComm.String())
 	m.phaseBoundary = phase.With(trace.PhaseBoundary.String())
+	m.phaseRecover = phase.With(trace.PhaseRecover.String())
 
 	return m
 }
@@ -303,6 +327,41 @@ func (m *clusterMetrics) batchLeave() {
 		return
 	}
 	m.batchLeaves.Inc()
+}
+
+// batchRecovery counts one failed batch round being recovered from,
+// classified by the fault's typed cause.
+func (m *clusterMetrics) batchRecovery(err error) {
+	if m == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, comm.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
+		m.recTimeout.Inc()
+	case errors.Is(err, comm.ErrCorrupt):
+		m.recCorrupt.Inc()
+	case errors.Is(err, comm.ErrInjected):
+		m.recInjected.Inc()
+	default:
+		m.recOther.Inc()
+	}
+}
+
+// batchSeqFailed counts a co-batched sequence resolved with a fault error.
+func (m *clusterMetrics) batchSeqFailed() {
+	if m == nil {
+		return
+	}
+	m.seqsFailed.Inc()
+}
+
+// batchSeqResumed counts a co-batched sequence parked across a fault for
+// resumption instead of being killed with the batch.
+func (m *clusterMetrics) batchSeqResumed() {
+	if m == nil {
+		return
+	}
+	m.seqsResumed.Inc()
 }
 
 // observeBatchWait records how long a sequence waited to join a batch.
@@ -418,5 +477,7 @@ func (m *clusterMetrics) phase(ph trace.Phase, d time.Duration) {
 		m.phaseComm.Add(d.Seconds())
 	case trace.PhaseBoundary:
 		m.phaseBoundary.Add(d.Seconds())
+	case trace.PhaseRecover:
+		m.phaseRecover.Add(d.Seconds())
 	}
 }

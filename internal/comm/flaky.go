@@ -38,6 +38,14 @@ type FlakyPeer struct {
 	// the send "succeeds" but nothing arrives, modeling a lossy link with
 	// no transport-level recovery.
 	DropEvery int64
+	// FailRecvAfter makes the n-th Recv (and every later one) return
+	// ErrInjected — a device that dies at a scheduled operation (0 =
+	// disabled; 1 means the first receive fails). Counted on the same
+	// global receive counter as StallRecvAfter and DelayEvery, so chaos
+	// tests can kill a rank at an exact protocol step: during batched
+	// decoding a worker receives one frame per fused step, making the
+	// fault's step index deterministic.
+	FailRecvAfter int64
 	// StallRecvAfter makes the (n+1)-th Recv (and every later one) block
 	// until the context is cancelled or the peer is closed — a hung device
 	// (0 = disabled; 1 means the first receive stalls).
@@ -91,6 +99,9 @@ func (f *FlakyPeer) Send(ctx context.Context, to int, data []byte) error {
 // Recv implements Peer with the configured fault behaviour.
 func (f *FlakyPeer) Recv(ctx context.Context, from int) ([]byte, error) {
 	n := f.recvs.Add(1)
+	if f.FailRecvAfter > 0 && n >= f.FailRecvAfter {
+		return nil, ErrInjected
+	}
 	if f.StallRecvAfter > 0 && n >= f.StallRecvAfter {
 		select {
 		case <-ctx.Done():

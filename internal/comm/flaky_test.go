@@ -26,6 +26,28 @@ func TestFlakyFailSendAfter(t *testing.T) {
 	}
 }
 
+func TestFlakyFailRecvAfter(t *testing.T) {
+	// The scheduled receive fault is deterministic: receives before the
+	// threshold deliver normally, the n-th and every later one fail — the
+	// knob chaos tests use to kill a rank at an exact protocol step.
+	peers := memPair(t, 2, netem.Unlimited)
+	f := &FlakyPeer{Inner: peers[1], FailRecvAfter: 2}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := peers[0].Send(ctx, 1, []byte("msg")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Recv(ctx, 0); err != nil {
+		t.Fatalf("first recv should pass: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Recv(ctx, 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("recv %d past threshold: want ErrInjected, got %v", i+2, err)
+		}
+	}
+}
+
 func TestFlakyCorruptionDetectedByDecoder(t *testing.T) {
 	// A corrupted tensor frame must surface as a decode error in
 	// AllGatherMatrix, not silent wrong results or a hang.

@@ -125,6 +125,33 @@ func (m *Model) DecodeStep(state *DecodeState, id int) (*tensor.Matrix, error) {
 	return x, nil
 }
 
+// ResumeState rebuilds a decode cache from an already-committed token
+// prefix — prompt plus any generated continuation — returning the final
+// hidden row (1×F) the next token decodes from, along with the rebuilt
+// cache. The prefix is exact integers, so greedy decoding from the rebuilt
+// state continues the token stream exactly where an uninterrupted run would
+// have: this is what lets the fault-tolerant batcher re-prefill a surviving
+// sequence onto a re-partitioned mesh (or the terminal replica) after a
+// mid-batch device failure without perturbing its output.
+func (m *Model) ResumeState(tokens []int) (*tensor.Matrix, *DecodeState, error) {
+	if len(tokens) == 0 {
+		return nil, nil, fmt.Errorf("model: empty resume prefix")
+	}
+	x, err := m.Embed.EmbedTokens(tokens)
+	if err != nil {
+		return nil, nil, err
+	}
+	hidden, state, err := m.Prefill(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	last, err := hidden.RowSlice(hidden.Rows()-1, hidden.Rows())
+	if err != nil {
+		return nil, nil, err
+	}
+	return last, state, nil
+}
+
 // GenerateIncremental decodes steps tokens greedily with the KV cache,
 // single-device. It is the reference the distributed decoder is tested
 // against.

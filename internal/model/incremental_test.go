@@ -203,3 +203,57 @@ func TestGenerateIncrementalRespectsMaxSeq(t *testing.T) {
 		t.Fatalf("generated %d tokens past MaxSeq", len(out))
 	}
 }
+
+func TestResumeStateContinuesExactly(t *testing.T) {
+	// A decode interrupted at any point must continue bit-identically (at
+	// the token level) after re-prefilling its committed prefix: the resumed
+	// greedy stream is the tail of the uninterrupted one. This is the
+	// exactness argument behind the batcher's mid-batch fault recovery.
+	m, err := NewRandom(TinyDecoder(), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{5, 9, 2, 7}
+	const steps = 10
+	want, err := m.GenerateIncremental(prompt, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < steps; cut++ {
+		prefix := append([]int(nil), want[:len(prompt)+cut]...)
+		last, state, err := m.ResumeState(prefix)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		tokens := prefix
+		for len(tokens) < len(want) {
+			logits, err := m.LM.NextTokenLogits(last)
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			tokens = append(tokens, Argmax(logits))
+			if len(tokens) == len(want) {
+				break
+			}
+			last, err = m.DecodeStep(state, tokens[len(tokens)-1])
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+		}
+		for i := range want {
+			if tokens[i] != want[i] {
+				t.Fatalf("cut %d: token %d = %d, want %d (resumed stream diverged)", cut, i, tokens[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResumeStateValidation(t *testing.T) {
+	m, err := NewRandom(TinyDecoder(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.ResumeState(nil); err == nil {
+		t.Fatal("want error for empty prefix")
+	}
+}

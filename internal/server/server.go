@@ -347,7 +347,12 @@ type generateChunk struct {
 	BatchWaitMS float64 `json:"batch_wait_ms,omitempty"`
 	PrefillMS   float64 `json:"prefill_ms,omitempty"`
 	DecodeMS    float64 `json:"decode_ms,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Retries counts mid-stream batch recoveries the sequence rode out
+	// (re-prefills after a device failure); Degraded reports it spent time
+	// on fewer than the full worker set. Tokens are exact either way.
+	Retries  int    `json:"retries,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // handleGenerate serves POST /v1/generate through the batch queue,
@@ -415,6 +420,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 				BatchWaitMS: float64(res.BatchWait) / float64(time.Millisecond),
 				PrefillMS:   float64(res.PrefillLatency) / float64(time.Millisecond),
 				DecodeMS:    float64(res.DecodeLatency) / float64(time.Millisecond),
+				Retries:     max(res.Attempts-1, 0),
+				Degraded:    res.Degraded,
 			})
 			return nil
 		},

@@ -30,6 +30,10 @@ const (
 	// fused decode batch after submission (continuous batching), so
 	// queue-vs-fuse time is attributable per request.
 	PhaseBatchWait
+	// PhaseRecover is time a generate sequence spent parked between a batch
+	// fault and its resumption (re-prefill on the surviving workers), so the
+	// cost of riding out a device failure is attributable per request.
+	PhaseRecover
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +49,8 @@ func (p Phase) String() string {
 		return "queue"
 	case PhaseBatchWait:
 		return "batch_wait"
+	case PhaseRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
