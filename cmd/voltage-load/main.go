@@ -1,0 +1,162 @@
+// Command voltage-load is the trace-driven load harness: it replays
+// reproducible traffic traces against a voltage-server gateway and records
+// what the serving stack delivered — latency percentiles (queue wait,
+// TTFT, per-token, end-to-end), shed counts by cause and class, and
+// achieved request/token throughput.
+//
+// Modes (exactly one):
+//
+//	-trace cfg.json -target http://host:port
+//	    replay one trace against a running gateway; write the summary
+//	    JSON to -out (default stdout)
+//	-grid cfg.json
+//	    run the experiment grid (offered load × MaxBatch × workers,
+//	    N repeats) over hermetic in-process gateways; write the
+//	    BENCH_<pr>.json contract plus a sibling .csv to -out
+//	-check file.json
+//	    schema-check a harness output file (bench or summary); exit
+//	    nonzero when malformed
+//	-compare BENCH_old.json
+//	    compare a bench (the one just produced by -grid, else the file
+//	    named by -out) against a recorded baseline; exit nonzero when
+//	    aggregate tok/s regresses more than -threshold
+//
+// A 2-second smoke against a local server:
+//
+//	voltage-server -local 3 -model tiny-decoder -listen 127.0.0.1:8080 &
+//	voltage-load -trace trace.json -target http://127.0.0.1:8080 -require-served
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"voltage/internal/loadgen"
+	"voltage/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "voltage-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("voltage-load", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "trace config JSON: replay one trace against -target")
+	target := fs.String("target", "", "gateway base URL for -trace (e.g. http://127.0.0.1:8080)")
+	gridPath := fs.String("grid", "", "grid config JSON: run the experiment grid over in-process gateways")
+	out := fs.String("out", "", "output path (summary or bench JSON; default stdout for -trace)")
+	check := fs.String("check", "", "schema-check a harness output file and exit")
+	compare := fs.String("compare", "", "baseline BENCH_*.json to compare aggregate tok/s against")
+	threshold := fs.Float64("threshold", 0.10, "fractional regression tolerance for -compare")
+	requireServed := fs.Bool("require-served", false, "-trace: exit nonzero unless both classes completed at least one request")
+	seed := fs.Int64("seed", 0, "override the trace config's seed (0 = keep)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *check != "" {
+		if err := loadgen.CheckFile(*check); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: well-formed\n", *check)
+		return nil
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var bench *loadgen.Bench
+	switch {
+	case *tracePath != "" && *gridPath != "":
+		return fmt.Errorf("-trace and -grid are mutually exclusive")
+	case *tracePath != "":
+		cfg, err := loadgen.LoadTraceConfig(*tracePath)
+		if err != nil {
+			return err
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *target == "" {
+			return fmt.Errorf("-trace needs -target")
+		}
+		sum, err := loadgen.NewRunner(cfg, *target).Run(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sum.TableRow("trace"))
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(w, string(blob))
+		}
+		if *requireServed {
+			if sum.Interactive.OK == 0 || sum.Generate.OK == 0 {
+				return fmt.Errorf("served counts interactive=%d generate=%d, want both > 0",
+					sum.Interactive.OK, sum.Generate.OK)
+			}
+		}
+	case *gridPath != "":
+		cfg, err := loadgen.LoadGridConfig(*gridPath)
+		if err != nil {
+			return err
+		}
+		if *seed != 0 {
+			cfg.Trace.Seed = *seed
+		}
+		tensor.SetWorkers(1) // single-CPU device emulation, as voltage-server does
+		bench, err = loadgen.RunGrid(ctx, cfg, w)
+		if err != nil {
+			return err
+		}
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%d.json", cfg.Issue)
+		}
+		if err := loadgen.WriteBench(bench, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "best %s: %.1f tok/s, %.1f req/s, p99 %.1f ms → %s\n",
+			bench.Aggregate.BestConfig, bench.Aggregate.TokensPerSec,
+			bench.Aggregate.ReqPerSec, bench.Aggregate.P99EndToEndMS, path)
+	case *compare == "":
+		return fmt.Errorf("pick a mode: -trace, -grid, -check, or -compare (see -h)")
+	}
+
+	if *compare != "" {
+		if bench == nil {
+			if *out == "" {
+				return fmt.Errorf("-compare without -grid needs -out naming the current bench")
+			}
+			blob, err := os.ReadFile(*out)
+			if err != nil {
+				return err
+			}
+			bench = &loadgen.Bench{}
+			if err := json.Unmarshal(blob, bench); err != nil {
+				return fmt.Errorf("parse current bench %s: %w", *out, err)
+			}
+		}
+		verdict, err := loadgen.Compare(bench, *compare, *threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "no regression: %s\n", verdict)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"voltage/internal/cluster"
+	"voltage/internal/core"
+	"voltage/internal/model"
+	"voltage/internal/server"
+)
+
+// writeJSON drops a JSON fixture into dir.
+func writeJSON(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestModeValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if err := run([]string{"-trace", "a.json", "-grid", "b.json"}, &out); err == nil {
+		t.Fatal("-trace plus -grid accepted")
+	}
+	if err := run([]string{"-trace", "nope.json"}, &out); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestGridCheckCompareEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	dir := t.TempDir()
+	grid := writeJSON(t, dir, "grid.json", map[string]any{
+		"name": "cmd-test", "issue": 8, "layers": 1,
+		"local_workers": []int{2}, "max_batch": []int{2}, "offered_rps": []float64{40},
+		"repeats": 1, "gateway_workers": 4,
+		"trace": map[string]any{
+			"seed": 9, "duration_ms": 250, "arrival": "poisson",
+			"steps": map[string]any{"dist": "uniform", "min": 2, "max": 3},
+		},
+	})
+	bench := filepath.Join(dir, "BENCH_t.json")
+	var out bytes.Buffer
+	if err := run([]string{"-grid", grid, "-out", bench}, &out); err != nil {
+		t.Fatalf("grid run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "tok/s") {
+		t.Fatalf("grid output carries no summary table:\n%s", out.String())
+	}
+	if err := run([]string{"-check", bench}, &out); err != nil {
+		t.Fatalf("check rejected fresh bench: %v", err)
+	}
+	// Self-compare passes; a 10x-inflated legacy baseline fails nonzero.
+	if err := run([]string{"-compare", bench, "-out", bench}, &out); err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+	var b struct {
+		Aggregate struct {
+			TokensPerSec float64 `json:"tokens_per_sec"`
+		} `json:"aggregate"`
+	}
+	blob, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &b); err != nil {
+		t.Fatal(err)
+	}
+	legacy := writeJSON(t, dir, "legacy.json", map[string]any{
+		"after": map[string]any{"tokens_per_sec": b.Aggregate.TokensPerSec * 10},
+	})
+	if err := run([]string{"-compare", legacy, "-out", bench}, &out); err == nil {
+		t.Fatal("regression vs inflated baseline not flagged")
+	}
+}
+
+func TestTraceModeAgainstGateway(t *testing.T) {
+	eng, err := core.New(model.TinyDecoder().Scaled(1), 2, cluster.Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	gw, err := server.New(eng, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: gw.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	dir := t.TempDir()
+	trace := writeJSON(t, dir, "trace.json", map[string]any{
+		"seed": 4, "duration_ms": 300, "arrival": "poisson", "rate_per_sec": 40,
+		"steps": map[string]any{"dist": "uniform", "min": 2, "max": 3},
+	})
+	sumPath := filepath.Join(dir, "summary.json")
+	var out bytes.Buffer
+	err = run([]string{
+		"-trace", trace, "-target", "http://" + ln.Addr().String(),
+		"-out", sumPath, "-require-served",
+	}, &out)
+	if err != nil {
+		t.Fatalf("trace run: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"-check", sumPath}, &out); err != nil {
+		t.Fatalf("check rejected trace summary: %v", err)
+	}
+}

@@ -121,7 +121,13 @@ func (c *Cluster) GenerateVoltageStream(ctx context.Context, prompt []int, steps
 		return nil, ctx.Err()
 	}
 	if seq.err != nil {
-		return nil, seq.err
+		// The batcher commits the sequence's accumulated accounting
+		// (tokens so far, attempts, degradation, batch wait, decode time)
+		// into res before resolving it, so a failed stream still reports
+		// what it measured — callers get the partial result alongside the
+		// error. The cancel/shutdown paths above return nil instead: there
+		// the batcher may still be writing the result concurrently.
+		return seq.res, seq.err
 	}
 	return seq.res, nil
 }

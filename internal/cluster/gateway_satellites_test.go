@@ -146,13 +146,15 @@ func TestFenceMetering(t *testing.T) {
 	if _, err := c.GenerateVoltage(context.Background(), []int{1, 2, 3}, 2); err != nil {
 		t.Fatal(err)
 	}
-	elapsed := time.Since(start)
 	// The fence-duration observation lands when the dispatcher leaves the
 	// fence; running one more (unfenced) request through the
-	// single-goroutine dispatcher guarantees it has.
+	// single-goroutine dispatcher guarantees it has. The elapsed upper
+	// bound must be captured after that flush: the dispatcher may leave
+	// the fence a beat after GenerateVoltage returns to the caller.
 	if _, err := c.Infer(context.Background(), StrategyVoltage, embedTiny(t, c, 4)); err != nil {
 		t.Fatal(err)
 	}
+	elapsed := time.Since(start)
 	snap := c.Metrics()
 	if got := snap.Counter(`voltage_queue_fences_total{reason="exclusive"}`); got != 1 {
 		t.Errorf("exclusive fences = %v, want 1", got)

@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is a recorded benchmark's headline throughput, extracted from
+// either schema generation.
+type Baseline struct {
+	Path         string
+	Schema       string // BenchSchema, or "legacy" for pre-harness files
+	TokensPerSec float64
+}
+
+// LoadBaseline reads a BENCH_*.json file of either generation:
+//
+//   - voltage-load/v1 (this harness): aggregate.tokens_per_sec
+//   - legacy one-off benchmark records (BENCH_6.json): after.tokens_per_sec
+func LoadBaseline(path string) (Baseline, error) {
+	b := Baseline{Path: path}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	var probe struct {
+		Schema    string `json:"schema"`
+		Aggregate struct {
+			TokensPerSec float64 `json:"tokens_per_sec"`
+		} `json:"aggregate"`
+		After struct {
+			TokensPerSec float64 `json:"tokens_per_sec"`
+		} `json:"after"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return b, fmt.Errorf("loadgen: parse baseline %s: %w", path, err)
+	}
+	switch {
+	case probe.Schema == BenchSchema:
+		b.Schema = BenchSchema
+		b.TokensPerSec = probe.Aggregate.TokensPerSec
+	case probe.After.TokensPerSec > 0:
+		b.Schema = "legacy"
+		b.TokensPerSec = probe.After.TokensPerSec
+	default:
+		return b, fmt.Errorf("loadgen: %s: neither a %s bench nor a legacy record with after.tokens_per_sec", path, BenchSchema)
+	}
+	if b.TokensPerSec <= 0 {
+		return b, fmt.Errorf("loadgen: %s: baseline tokens_per_sec %v not positive", path, b.TokensPerSec)
+	}
+	return b, nil
+}
+
+// Compare checks current against the baseline at baselinePath: an error is
+// returned when current's aggregate tok/s falls more than threshold
+// (fractional, e.g. 0.10) below the baseline. Comparisons are only
+// meaningful between runs of the same grid on the same hardware — the
+// caller owns that discipline; Compare owns the arithmetic.
+func Compare(current *Bench, baselinePath string, threshold float64) (string, error) {
+	base, err := LoadBaseline(baselinePath)
+	if err != nil {
+		return "", err
+	}
+	cur := current.Aggregate.TokensPerSec
+	floor := base.TokensPerSec * (1 - threshold)
+	verdict := fmt.Sprintf("aggregate tok/s %.1f vs baseline %.1f (%s, %s): floor at -%.0f%% is %.1f",
+		cur, base.TokensPerSec, base.Path, base.Schema, threshold*100, floor)
+	if cur < floor {
+		return verdict, fmt.Errorf("loadgen: throughput regression: %s", verdict)
+	}
+	return verdict, nil
+}
+
+// CheckFile validates a harness output file's shape — the CI smoke's
+// dependency-free schema gate. It accepts both a grid bench
+// (schema voltage-load/v1, cells + aggregate) and a single-trace summary
+// (interactive/generate classes + wall clock).
+func CheckFile(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var probe struct {
+		Schema string          `json:"schema"`
+		Cells  json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return fmt.Errorf("loadgen: %s: not JSON: %w", path, err)
+	}
+	if probe.Schema == BenchSchema || probe.Cells != nil {
+		return checkBench(path, blob)
+	}
+	var sum Summary
+	if err := json.Unmarshal(blob, &sum); err != nil {
+		return fmt.Errorf("loadgen: %s: not a summary: %w", path, err)
+	}
+	return checkSummary(path, &sum)
+}
+
+// checkBench validates the BENCH_<pr>.json contract.
+func checkBench(path string, blob []byte) error {
+	var b Bench
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return fmt.Errorf("loadgen: %s: not a bench: %w", path, err)
+	}
+	if b.Schema != BenchSchema {
+		return fmt.Errorf("loadgen: %s: schema %q, want %q", path, b.Schema, BenchSchema)
+	}
+	if len(b.Cells) == 0 {
+		return fmt.Errorf("loadgen: %s: no cells", path)
+	}
+	for _, c := range b.Cells {
+		if c.Summary == nil {
+			return fmt.Errorf("loadgen: %s: cell %q has no summary", path, c.Label)
+		}
+		if err := checkSummary(fmt.Sprintf("%s cell %q", path, c.Label), c.Summary); err != nil {
+			return err
+		}
+	}
+	if b.Aggregate.TokensPerSec <= 0 {
+		return fmt.Errorf("loadgen: %s: aggregate tokens_per_sec %v not positive", path, b.Aggregate.TokensPerSec)
+	}
+	if b.Aggregate.BestConfig == "" {
+		return fmt.Errorf("loadgen: %s: aggregate names no best_config", path)
+	}
+	return nil
+}
+
+// checkSummary validates one trace summary's shape.
+func checkSummary(what string, s *Summary) error {
+	if s.WallMS <= 0 {
+		return fmt.Errorf("loadgen: %s: wall_ms %v not positive", what, s.WallMS)
+	}
+	if s.Planned <= 0 {
+		return fmt.Errorf("loadgen: %s: no planned requests", what)
+	}
+	total := s.Interactive.Requests + s.Generate.Requests
+	if total != s.Planned {
+		return fmt.Errorf("loadgen: %s: classes account for %d of %d planned requests", what, total, s.Planned)
+	}
+	for _, cs := range []struct {
+		name string
+		c    ClassSummary
+	}{{"interactive", s.Interactive}, {"generate", s.Generate}} {
+		if cs.c.OK+cs.c.Failed != cs.c.Requests {
+			return fmt.Errorf("loadgen: %s: %s ok+failed = %d, want %d", what, cs.name, cs.c.OK+cs.c.Failed, cs.c.Requests)
+		}
+		if cs.c.E2EMS.Count != cs.c.OK {
+			return fmt.Errorf("loadgen: %s: %s e2e population %d, want %d", what, cs.name, cs.c.E2EMS.Count, cs.c.OK)
+		}
+	}
+	return nil
+}

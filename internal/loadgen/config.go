@@ -1,0 +1,288 @@
+// Package loadgen is the trace-driven load harness: it replays
+// configurable traffic traces against a running gateway (an HTTP base URL
+// — a voltage-server process or an in-process server.Server handler on a
+// loopback listener) and measures what the serving stack actually
+// delivered: queue wait, batch wait, time-to-first-token, per-token and
+// end-to-end latency percentiles, shed counts by cause and class, and
+// achieved request and token throughput.
+//
+// Traces are planned up front from a seeded PRNG, so the offered workload
+// — arrival times, class mix, heavy-tailed prompt and step lengths — is
+// bit-reproducible under the same TraceConfig. Measured latencies are of
+// course wall-clock, but what was *asked* of the server never varies
+// between runs, which is what makes BENCH_<pr>.json files comparable
+// across PRs.
+//
+// The grid runner (grid.go) sweeps offered load × MaxBatch × worker count
+// with N repeats over hermetic in-process gateways and emits the
+// BENCH_<pr>.json every subsequent PR is held to; compare.go checks a new
+// bench file against a recorded baseline and fails on regression.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Arrival processes.
+const (
+	// ArrivalPoisson is open-loop: exponential inter-arrival times at
+	// RatePerSec, independent of how the server keeps up.
+	ArrivalPoisson = "poisson"
+	// ArrivalOnOff is bursty open-loop: Poisson at RatePerSec during
+	// OnMS-long bursts, silence for OffMS between them.
+	ArrivalOnOff = "onoff"
+	// ArrivalClosed is closed-loop: Concurrency workers each issue their
+	// next request ThinkMS after the previous response lands.
+	ArrivalClosed = "closed"
+)
+
+// LengthDist draws request sizes (prompt tokens, decode steps). The
+// zero value is "fixed" at Min.
+type LengthDist struct {
+	// Dist is "fixed" (Min), "uniform" (Min..Max inclusive), or "pareto"
+	// (bounded Pareto over Min..Max with shape Alpha — the heavy-tailed
+	// mix real prompt traffic shows: mostly short, occasionally huge).
+	Dist string `json:"dist,omitempty"`
+	Min  int    `json:"min"`
+	Max  int    `json:"max,omitempty"`
+	// Alpha is the Pareto shape (default 1.5; smaller = heavier tail).
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// draw samples one length from the distribution.
+func (d LengthDist) draw(rng *rand.Rand) int {
+	min, max := d.Min, d.Max
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	switch d.Dist {
+	case "", "fixed":
+		return min
+	case "uniform":
+		return min + rng.Intn(max-min+1)
+	case "pareto":
+		alpha := d.Alpha
+		if alpha <= 0 {
+			alpha = 1.5
+		}
+		// Bounded Pareto via inverse transform: heavy tail, hard cap.
+		lo, hi := float64(min), float64(max)+1
+		u := rng.Float64()
+		x := math.Pow(math.Pow(lo, -alpha)-u*(math.Pow(lo, -alpha)-math.Pow(hi, -alpha)), -1/alpha)
+		n := int(x)
+		if n < min {
+			n = min
+		}
+		if n > max {
+			n = max
+		}
+		return n
+	default:
+		return min
+	}
+}
+
+// validate rejects unknown distributions at config-load time.
+func (d LengthDist) validate(what string) error {
+	switch d.Dist {
+	case "", "fixed", "uniform", "pareto":
+		return nil
+	default:
+		return fmt.Errorf("loadgen: %s: unknown dist %q", what, d.Dist)
+	}
+}
+
+// TraceConfig describes one reproducible traffic trace.
+type TraceConfig struct {
+	// Seed makes the planned trace deterministic.
+	Seed int64 `json:"seed"`
+	// DurationMS bounds the arrival window (closed-loop: the run window).
+	DurationMS int `json:"duration_ms"`
+	// Arrival selects the process: poisson | onoff | closed.
+	Arrival string `json:"arrival"`
+	// RatePerSec is the offered load for open-loop processes (during the
+	// on-phase for onoff).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// OnMS/OffMS shape the onoff process (defaults 200/200).
+	OnMS  int `json:"on_ms,omitempty"`
+	OffMS int `json:"off_ms,omitempty"`
+	// Concurrency is the closed-loop worker count (default 4).
+	Concurrency int `json:"concurrency,omitempty"`
+	// ThinkMS is the closed-loop pause between a response and the worker's
+	// next request (default 0).
+	ThinkMS int `json:"think_ms,omitempty"`
+	// InteractiveFraction is the probability an arrival is a /v1/classify
+	// request (the rest stream /v1/generate). Default 0.5.
+	InteractiveFraction *float64 `json:"interactive_fraction,omitempty"`
+	// Prompt and Steps size each request (defaults: pareto 2..24 α1.5 and
+	// pareto 2..12 α1.2 — mostly short, occasionally long).
+	Prompt LengthDist `json:"prompt"`
+	Steps  LengthDist `json:"steps"`
+	// VocabSize bounds the random token ids drawn for prompts (default 100,
+	// the tiny presets' vocabulary).
+	VocabSize int `json:"vocab_size,omitempty"`
+	// TimeoutMS, when set, rides on every request as its SLO deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxInflight bounds open-loop concurrency so a stalled server cannot
+	// leak unbounded goroutines (default 512).
+	MaxInflight int `json:"max_inflight,omitempty"`
+}
+
+// withDefaults fills unset fields.
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.DurationMS <= 0 {
+		c.DurationMS = 1000
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 20
+	}
+	if c.OnMS <= 0 {
+		c.OnMS = 200
+	}
+	if c.OffMS <= 0 {
+		c.OffMS = 200
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.InteractiveFraction == nil {
+		f := 0.5
+		c.InteractiveFraction = &f
+	}
+	if c.Prompt == (LengthDist{}) {
+		c.Prompt = LengthDist{Dist: "pareto", Min: 2, Max: 24, Alpha: 1.5}
+	}
+	if c.Steps == (LengthDist{}) {
+		c.Steps = LengthDist{Dist: "pareto", Min: 2, Max: 12, Alpha: 1.2}
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = 100
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 512
+	}
+	return c
+}
+
+// Validate rejects malformed trace configs.
+func (c TraceConfig) Validate() error {
+	switch c.Arrival {
+	case "", ArrivalPoisson, ArrivalOnOff, ArrivalClosed:
+	default:
+		return fmt.Errorf("loadgen: unknown arrival process %q", c.Arrival)
+	}
+	if c.InteractiveFraction != nil && (*c.InteractiveFraction < 0 || *c.InteractiveFraction > 1) {
+		return fmt.Errorf("loadgen: interactive_fraction %v outside [0,1]", *c.InteractiveFraction)
+	}
+	if err := c.Prompt.validate("prompt"); err != nil {
+		return err
+	}
+	return c.Steps.validate("steps")
+}
+
+// Request is one planned request of the trace.
+type Request struct {
+	// At is the arrival offset from trace start (open-loop only; closed-
+	// loop workers pace themselves).
+	At time.Duration
+	// Worker is the issuing closed-loop worker (-1 for open-loop).
+	Worker int
+	// Interactive selects /v1/classify (true) vs streaming /v1/generate.
+	Interactive bool
+	// Prompt is the token-id payload.
+	Prompt []int
+	// Steps is the decode budget (generate only).
+	Steps int
+	// TimeoutMS is the request SLO (0 = none).
+	TimeoutMS int64
+}
+
+// Plan expands the config into its deterministic request list: same
+// config, same trace, every time. Open-loop plans are ordered by arrival
+// offset; closed-loop plans hold Concurrency per-worker sequences (enough
+// to outlast the run window) tagged with Worker.
+func Plan(cfg TraceConfig) ([]Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	window := time.Duration(cfg.DurationMS) * time.Millisecond
+
+	mk := func(worker int, at time.Duration) Request {
+		r := Request{
+			At:          at,
+			Worker:      worker,
+			Interactive: rng.Float64() < *cfg.InteractiveFraction,
+			TimeoutMS:   cfg.TimeoutMS,
+		}
+		n := cfg.Prompt.draw(rng)
+		r.Prompt = make([]int, n)
+		for i := range r.Prompt {
+			r.Prompt[i] = 1 + rng.Intn(cfg.VocabSize-1)
+		}
+		if !r.Interactive {
+			r.Steps = cfg.Steps.draw(rng)
+		}
+		return r
+	}
+
+	var reqs []Request
+	switch cfg.Arrival {
+	case ArrivalPoisson:
+		for at := expDelay(rng, cfg.RatePerSec); at < window; at += expDelay(rng, cfg.RatePerSec) {
+			reqs = append(reqs, mk(-1, at))
+		}
+	case ArrivalOnOff:
+		on := time.Duration(cfg.OnMS) * time.Millisecond
+		off := time.Duration(cfg.OffMS) * time.Millisecond
+		for phase := time.Duration(0); phase < window; phase += on + off {
+			burstEnd := phase + on
+			if burstEnd > window {
+				burstEnd = window
+			}
+			for at := phase + expDelay(rng, cfg.RatePerSec); at < burstEnd; at += expDelay(rng, cfg.RatePerSec) {
+				reqs = append(reqs, mk(-1, at))
+			}
+		}
+	case ArrivalClosed:
+		// Each worker gets a generous sequence; the runner stops issuing
+		// when the window closes, so unused tail entries just never fire.
+		perWorker := cfg.DurationMS/10 + 16
+		for w := 0; w < cfg.Concurrency; w++ {
+			for i := 0; i < perWorker; i++ {
+				reqs = append(reqs, mk(w, 0))
+			}
+		}
+	}
+	return reqs, nil
+}
+
+// expDelay draws one exponential inter-arrival gap.
+func expDelay(rng *rand.Rand, ratePerSec float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / ratePerSec * float64(time.Second))
+}
+
+// LoadTraceConfig reads a TraceConfig JSON file.
+func LoadTraceConfig(path string) (TraceConfig, error) {
+	var cfg TraceConfig
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, err
+	}
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return cfg, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	return cfg, cfg.Validate()
+}

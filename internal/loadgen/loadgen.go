@@ -1,0 +1,289 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// sample is one issued request's measurement.
+type sample struct {
+	interactive bool
+	status      int
+	shedCause   string // non-empty when the request was rejected/shed
+	e2e         time.Duration
+	ttft        time.Duration // generate: first token line (0 = none seen)
+	tokens      int           // generate: token lines streamed
+	perTokenMS  float64       // generate: mean gap between token lines
+	queueMS     float64
+	batchWaitMS float64
+	retries     int
+	degraded    bool
+	failed      bool // transport error or in-band stream error
+}
+
+// Runner replays a planned trace against one gateway base URL.
+type Runner struct {
+	cfg    TraceConfig
+	base   string
+	client *http.Client
+}
+
+// NewRunner builds a runner for the gateway at base (e.g.
+// "http://127.0.0.1:8080"). The runner owns its HTTP client; keep-alives
+// are sized to the trace's concurrency bound.
+func NewRunner(cfg TraceConfig, base string) *Runner {
+	cfg = cfg.withDefaults()
+	tr := &http.Transport{
+		MaxIdleConns:        cfg.MaxInflight,
+		MaxIdleConnsPerHost: cfg.MaxInflight,
+	}
+	return &Runner{
+		cfg:    cfg,
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Transport: tr},
+	}
+}
+
+// Run plans the trace, replays it, and summarizes what came back. The
+// context aborts the whole run (in-flight requests are canceled).
+func (r *Runner) Run(ctx context.Context) (*Summary, error) {
+	reqs, err := Plan(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	before, beforeOK := r.scrapeServer()
+
+	start := time.Now()
+	samples := make([]sample, 0, len(reqs))
+	var mu sync.Mutex
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	switch r.cfg.Arrival {
+	case ArrivalClosed:
+		byWorker := make([][]Request, r.cfg.Concurrency)
+		for _, q := range reqs {
+			byWorker[q.Worker] = append(byWorker[q.Worker], q)
+		}
+		window := time.Duration(r.cfg.DurationMS) * time.Millisecond
+		think := time.Duration(r.cfg.ThinkMS) * time.Millisecond
+		for w := 0; w < r.cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func(seq []Request) {
+				defer wg.Done()
+				for _, q := range seq {
+					if ctx.Err() != nil || time.Since(start) >= window {
+						return
+					}
+					record(r.issue(ctx, q))
+					if think > 0 {
+						select {
+						case <-time.After(think):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}(byWorker[w])
+		}
+	default: // open-loop: fire at each planned offset, bounded in flight
+		sem := make(chan struct{}, r.cfg.MaxInflight)
+		for _, q := range reqs {
+			if ctx.Err() != nil {
+				break
+			}
+			if wait := q.At - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+				}
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(q Request) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				record(r.issue(ctx, q))
+			}(q)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, afterOK := r.scrapeServer()
+	sum := summarize(r.cfg, samples, wall)
+	if beforeOK && afterOK {
+		sum.Server = diffServer(before, after)
+	}
+	return sum, nil
+}
+
+// issue sends one planned request and measures it.
+func (r *Runner) issue(ctx context.Context, q Request) sample {
+	if q.Interactive {
+		return r.issueClassify(ctx, q)
+	}
+	return r.issueGenerate(ctx, q)
+}
+
+// classifyReply mirrors the fields of /v1/classify the harness reads.
+type classifyReply struct {
+	QueueMS  float64 `json:"queue_ms"`
+	Attempts int     `json:"attempts"`
+	Degraded bool    `json:"degraded"`
+}
+
+// shedReply mirrors the error envelope of shed responses.
+type shedReply struct {
+	Error string `json:"error"`
+	Shed  bool   `json:"shed"`
+}
+
+func (r *Runner) issueClassify(ctx context.Context, q Request) sample {
+	s := sample{interactive: true}
+	body, _ := json.Marshal(map[string]any{"tokens": q.Prompt, "timeout_ms": q.TimeoutMS})
+	start := time.Now()
+	resp, err := r.post(ctx, "/v1/classify", body)
+	if err != nil {
+		s.failed = true
+		s.shedCause = "transport"
+		s.e2e = time.Since(start)
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		s.shedCause = shedCauseOf(resp)
+		s.failed = true
+		s.e2e = time.Since(start)
+		return s
+	}
+	var rep classifyReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		s.failed = true
+		s.shedCause = "bad_response"
+	}
+	s.e2e = time.Since(start)
+	s.queueMS = rep.QueueMS
+	s.retries = max(rep.Attempts-1, 0)
+	s.degraded = rep.Degraded
+	return s
+}
+
+// streamChunk mirrors the /v1/generate ndjson line fields the harness
+// reads (token lines and the final summary line).
+type streamChunk struct {
+	Token       *int    `json:"token"`
+	Done        bool    `json:"done"`
+	QueueMS     float64 `json:"queue_ms"`
+	BatchWaitMS float64 `json:"batch_wait_ms"`
+	Retries     int     `json:"retries"`
+	Degraded    bool    `json:"degraded"`
+	Error       string  `json:"error"`
+	Streamed    int     `json:"streamed"`
+}
+
+func (r *Runner) issueGenerate(ctx context.Context, q Request) sample {
+	s := sample{}
+	body, _ := json.Marshal(map[string]any{"prompt": q.Prompt, "steps": q.Steps, "timeout_ms": q.TimeoutMS})
+	start := time.Now()
+	resp, err := r.post(ctx, "/v1/generate", body)
+	if err != nil {
+		s.failed = true
+		s.shedCause = "transport"
+		s.e2e = time.Since(start)
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		s.shedCause = shedCauseOf(resp)
+		s.failed = true
+		s.e2e = time.Since(start)
+		return s
+	}
+	var lastToken time.Time
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var chunk streamChunk
+		if err := json.Unmarshal(sc.Bytes(), &chunk); err != nil {
+			s.failed = true
+			s.shedCause = "bad_response"
+			break
+		}
+		switch {
+		case chunk.Done:
+			s.queueMS = chunk.QueueMS
+			s.batchWaitMS = chunk.BatchWaitMS
+			s.retries = chunk.Retries
+			s.degraded = chunk.Degraded
+			if chunk.Error != "" {
+				s.failed = true
+				s.shedCause = "stream_error"
+			}
+		case chunk.Token != nil:
+			now := time.Now()
+			if s.tokens == 0 {
+				s.ttft = now.Sub(start)
+			}
+			lastToken = now
+			s.tokens++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.failed = true
+		s.shedCause = "transport"
+	}
+	s.e2e = time.Since(start)
+	if s.tokens > 1 && !lastToken.IsZero() {
+		s.perTokenMS = float64(lastToken.Sub(start)-s.ttft) / float64(s.tokens-1) / float64(time.Millisecond)
+	}
+	return s
+}
+
+// post issues one POST with the request's context.
+func (r *Runner) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return r.client.Do(req)
+}
+
+// shedCauseOf labels a non-200 response for the shed-by-cause breakdown:
+// the error body's text when it names a known cause, else the status code.
+func shedCauseOf(resp *http.Response) string {
+	var rep shedReply
+	_ = json.NewDecoder(resp.Body).Decode(&rep)
+	msg := strings.ToLower(rep.Error)
+	switch {
+	case strings.Contains(msg, "queue full"):
+		return "queue_full"
+	case strings.Contains(msg, "deadline"):
+		return "deadline"
+	case strings.Contains(msg, "draining"):
+		return "draining"
+	case strings.Contains(msg, "degraded"):
+		return "degraded"
+	case resp.StatusCode == http.StatusRequestEntityTooLarge:
+		return "body_limit"
+	default:
+		return fmt.Sprintf("http_%d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,299 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"voltage/internal/cluster"
+	"voltage/internal/core"
+	"voltage/internal/metrics"
+	"voltage/internal/model"
+	"voltage/internal/sched"
+	"voltage/internal/server"
+)
+
+// TestPlanDeterministic is the reproducibility contract: the same config
+// plans the same trace, bit for bit; a different seed plans a different
+// one.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := TraceConfig{Seed: 42, DurationMS: 500, Arrival: ArrivalPoisson, RatePerSec: 80}
+	a, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("planned no requests")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config planned different traces")
+	}
+	cfg.Seed = 43
+	c, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds planned identical traces")
+	}
+	// The mix holds both classes and the planned sizes respect bounds.
+	var interactive, generate int
+	for _, q := range a {
+		if q.Interactive {
+			interactive++
+			if q.Steps != 0 {
+				t.Fatal("interactive request carries decode steps")
+			}
+		} else {
+			generate++
+			if q.Steps < 2 || q.Steps > 12 {
+				t.Fatalf("steps %d outside default pareto bounds [2,12]", q.Steps)
+			}
+		}
+		if len(q.Prompt) < 2 || len(q.Prompt) > 24 {
+			t.Fatalf("prompt length %d outside default pareto bounds [2,24]", len(q.Prompt))
+		}
+	}
+	if interactive == 0 || generate == 0 {
+		t.Fatalf("mix degenerate: %d interactive, %d generate", interactive, generate)
+	}
+}
+
+func TestPlanArrivalShapes(t *testing.T) {
+	onoff := TraceConfig{Seed: 7, DurationMS: 800, Arrival: ArrivalOnOff, RatePerSec: 200, OnMS: 100, OffMS: 100}
+	reqs, err := Plan(onoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range reqs {
+		phase := q.At % (200 * time.Millisecond)
+		if phase >= 100*time.Millisecond {
+			t.Fatalf("on/off arrival at %v lands in an off phase", q.At)
+		}
+	}
+	closed := TraceConfig{Seed: 7, DurationMS: 300, Arrival: ArrivalClosed, Concurrency: 3}
+	reqs, err = Plan(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := map[int]bool{}
+	for _, q := range reqs {
+		workers[q.Worker] = true
+	}
+	if len(workers) != 3 {
+		t.Fatalf("closed plan spans %d workers, want 3", len(workers))
+	}
+	if _, err := Plan(TraceConfig{Arrival: "warp"}); err == nil {
+		t.Fatal("unknown arrival accepted")
+	}
+}
+
+func TestLengthDistBounds(t *testing.T) {
+	cfg := TraceConfig{Seed: 1, DurationMS: 400, Arrival: ArrivalPoisson, RatePerSec: 300,
+		Prompt: LengthDist{Dist: "pareto", Min: 3, Max: 9, Alpha: 1.1},
+		Steps:  LengthDist{Dist: "uniform", Min: 2, Max: 4}}
+	reqs, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range reqs {
+		if n := len(q.Prompt); n < 3 || n > 9 {
+			t.Fatalf("pareto prompt length %d outside [3,9]", n)
+		}
+		if !q.Interactive && (q.Steps < 2 || q.Steps > 4) {
+			t.Fatalf("uniform steps %d outside [2,4]", q.Steps)
+		}
+	}
+}
+
+// startGateway brings up a hermetic in-process gateway and returns its
+// base URL.
+func startGateway(t *testing.T, k int, schedOpts sched.Options) string {
+	t.Helper()
+	eng, err := core.New(model.TinyDecoder().Scaled(1), k, cluster.Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	registry := eng.Cluster().MetricsRegistry()
+	if registry == nil {
+		registry = metrics.NewRegistry()
+	}
+	gw, err := server.New(eng, server.Options{Registry: registry, Sched: schedOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: gw.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// TestRunHermetic drives a seeded mixed-class trace through an in-process
+// gateway and checks every summary field the BENCH contract depends on.
+func TestRunHermetic(t *testing.T) {
+	base := startGateway(t, 2, sched.Options{Workers: 4})
+	cfg := TraceConfig{Seed: 11, DurationMS: 600, Arrival: ArrivalPoisson, RatePerSec: 50,
+		Steps: LengthDist{Dist: "uniform", Min: 2, Max: 4}}
+	sum, err := NewRunner(cfg, base).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Planned == 0 || sum.WallMS <= 0 {
+		t.Fatalf("degenerate run: planned=%d wall=%v", sum.Planned, sum.WallMS)
+	}
+	if sum.Interactive.OK == 0 || sum.Generate.OK == 0 {
+		t.Fatalf("served counts interactive=%d generate=%d, want both > 0", sum.Interactive.OK, sum.Generate.OK)
+	}
+	if sum.Generate.Tokens == 0 || sum.TokensPerSec <= 0 {
+		t.Fatalf("no token throughput: tokens=%d tok/s=%v", sum.Generate.Tokens, sum.TokensPerSec)
+	}
+	if sum.AchievedRPS <= 0 {
+		t.Fatalf("achieved rps %v", sum.AchievedRPS)
+	}
+	if c := sum.Generate.TTFTMS.Count; c == 0 {
+		t.Fatal("no TTFT samples for streamed generates")
+	}
+	if sum.Generate.E2EMS.P99 < sum.Generate.E2EMS.P50 {
+		t.Fatalf("p99 %v < p50 %v", sum.Generate.E2EMS.P99, sum.Generate.E2EMS.P50)
+	}
+	// Server-truth counters were scraped and agree with the client view.
+	if sum.Server == nil {
+		t.Fatal("no server counters scraped")
+	}
+	if got := sum.Server.Served["interactive"]; got != uint64(sum.Interactive.OK) {
+		t.Fatalf("server served[interactive] = %d, client ok = %d", got, sum.Interactive.OK)
+	}
+	if got := sum.Server.Served["batch"]; got != uint64(sum.Generate.OK) {
+		t.Fatalf("server served[batch] = %d, client ok = %d", got, sum.Generate.OK)
+	}
+	// The written summary passes the CI schema gate.
+	path := filepath.Join(t.TempDir(), "summary.json")
+	blob, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShedAccounting overloads a cap-1 queue and requires the sheds to
+// be visible both client-side (by cause) and in the scraped scheduler
+// counters.
+func TestRunShedAccounting(t *testing.T) {
+	base := startGateway(t, 2, sched.Options{Workers: 1, InteractiveDepth: 1, BatchDepth: 1})
+	one := 1.0
+	cfg := TraceConfig{Seed: 5, DurationMS: 400, Arrival: ArrivalOnOff, RatePerSec: 400,
+		OnMS: 100, OffMS: 50, InteractiveFraction: &one,
+		Prompt: LengthDist{Dist: "fixed", Min: 8}}
+	sum, err := NewRunner(cfg, base).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Interactive.Failed == 0 {
+		t.Fatal("overload produced no client-visible sheds")
+	}
+	if sum.Interactive.ShedByCause["queue_full"] == 0 {
+		t.Fatalf("shed causes %v, want queue_full > 0", sum.Interactive.ShedByCause)
+	}
+	if sum.Server == nil || sum.Server.Shed["queue_full"] == 0 {
+		t.Fatalf("server shed counters %+v, want queue_full > 0", sum.Server)
+	}
+}
+
+// TestGridEmitsBenchContract runs a tiny grid end to end: cells for every
+// swept configuration, a well-formed BENCH file plus CSV, and a working
+// compare against both schema generations.
+func TestGridEmitsBenchContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	cfg := GridConfig{
+		Name: "test-grid", Issue: 8, Layers: 1,
+		LocalWorkers: []int{2}, MaxBatch: []int{1, 4}, OfferedRPS: []float64{40},
+		Repeats: 2, GatewayWorkers: 4,
+		Trace: TraceConfig{Seed: 3, DurationMS: 300, Arrival: ArrivalPoisson,
+			Steps: LengthDist{Dist: "uniform", Min: 2, Max: 3}},
+	}
+	bench, err := RunGrid(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * 2 * 1 * 2; len(bench.Cells) != want {
+		t.Fatalf("grid ran %d cells, want %d", len(bench.Cells), want)
+	}
+	if bench.Aggregate.TokensPerSec <= 0 || bench.Aggregate.BestConfig == "" {
+		t.Fatalf("degenerate aggregate %+v", bench.Aggregate)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := WriteBench(bench, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_test.csv")); err != nil {
+		t.Fatalf("no sibling CSV: %v", err)
+	}
+
+	// Compare: current bench against itself passes; against an inflated
+	// legacy baseline fails with the regression verdict.
+	if _, err := Compare(bench, path, 0.10); err != nil {
+		t.Fatalf("self-compare regressed: %v", err)
+	}
+	legacy := filepath.Join(dir, "BENCH_legacy.json")
+	inflated := map[string]any{"after": map[string]any{"tokens_per_sec": bench.Aggregate.TokensPerSec * 10}}
+	blob, _ := json.Marshal(inflated)
+	if err := os.WriteFile(legacy, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(bench, legacy, 0.10); err == nil {
+		t.Fatal("10x-inflated legacy baseline not flagged as a regression")
+	}
+	deflated := map[string]any{"after": map[string]any{"tokens_per_sec": bench.Aggregate.TokensPerSec / 10}}
+	blob, _ = json.Marshal(deflated)
+	if err := os.WriteFile(legacy, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(bench, legacy, 0.10); err != nil {
+		t.Fatalf("faster-than-baseline run flagged: %v", err)
+	}
+}
+
+// TestCheckFileRejectsMalformed guards the CI schema gate itself.
+func TestCheckFileRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"not-json.json":   "{nope",
+		"empty-cells.json": `{"schema":"voltage-load/v1","cells":[],"aggregate":{}}`,
+		"no-tok.json":      `{"schema":"voltage-load/v1","cells":[{"label":"x","summary":{"planned":1,"wall_ms":1,"interactive":{"requests":1,"ok":1,"e2e_ms":{"count":1}},"generate":{"e2e_ms":{}}}}],"aggregate":{"tokens_per_sec":0}}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckFile(path); err == nil {
+			t.Errorf("%s accepted, want schema error", name)
+		}
+	}
+}

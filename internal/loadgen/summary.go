@@ -1,0 +1,299 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Pctiles summarizes one latency population in milliseconds.
+type Pctiles struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// pctiles computes the summary of a millisecond population.
+func pctiles(ms []float64) Pctiles {
+	p := Pctiles{Count: len(ms)}
+	if len(ms) == 0 {
+		return p
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	p.Mean = sum / float64(len(ms))
+	p.P50, p.P95, p.P99 = at(0.50), at(0.95), at(0.99)
+	p.Max = ms[len(ms)-1]
+	return p
+}
+
+// ClassSummary is one request class's client-side view of the run.
+type ClassSummary struct {
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	Failed   int `json:"failed"`
+	// ShedByCause counts non-OK outcomes by client-visible cause
+	// (queue_full, deadline, draining, degraded, body_limit, transport,
+	// stream_error, http_<code>).
+	ShedByCause map[string]int `json:"shed_by_cause,omitempty"`
+	// Retried / DegradedRuns count OK requests that reported mid-run
+	// retries or degraded service.
+	Retried      int `json:"retried,omitempty"`
+	DegradedRuns int `json:"degraded_runs,omitempty"`
+
+	E2EMS   Pctiles `json:"e2e_ms"`
+	QueueMS Pctiles `json:"queue_ms"`
+	// Generate-only populations (zero Count for interactive).
+	TTFTMS      Pctiles `json:"ttft_ms,omitempty"`
+	PerTokenMS  Pctiles `json:"per_token_ms,omitempty"`
+	BatchWaitMS Pctiles `json:"batch_wait_ms,omitempty"`
+	// Tokens is the total token lines streamed by this class.
+	Tokens int `json:"tokens,omitempty"`
+}
+
+// ServerCounters is the server-truth view scraped from /v1/queue and
+// /metrics, reported as the delta across the run.
+type ServerCounters struct {
+	// Shed is the scheduler's shed-by-cause delta (queue_full, deadline,
+	// degraded, draining, canceled).
+	Shed map[string]uint64 `json:"shed,omitempty"`
+	// Served / Failed are per-class completion deltas.
+	Served map[string]uint64 `json:"served,omitempty"`
+	Failed map[string]uint64 `json:"failed,omitempty"`
+	// FusedSteps and MeanBatchWidth report how much decode work actually
+	// co-batched (zero when the backend exposes no batch metrics).
+	FusedSteps     uint64  `json:"fused_steps,omitempty"`
+	MeanBatchWidth float64 `json:"mean_batch_width,omitempty"`
+}
+
+// Summary is one trace run's full measurement.
+type Summary struct {
+	Config TraceConfig `json:"config"`
+	// Planned is how many requests the trace offered; WallMS the run's
+	// wall-clock span.
+	Planned int     `json:"planned"`
+	WallMS  float64 `json:"wall_ms"`
+	// OfferedRPS is the planned arrival rate, AchievedRPS the completed-OK
+	// rate, TokensPerSec the aggregate streamed-token throughput.
+	OfferedRPS   float64 `json:"offered_rps"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+
+	Interactive ClassSummary `json:"interactive"`
+	Generate    ClassSummary `json:"generate"`
+
+	Server *ServerCounters `json:"server,omitempty"`
+}
+
+// summarize folds the samples into the run report.
+func summarize(cfg TraceConfig, samples []sample, wall time.Duration) *Summary {
+	cfg = cfg.withDefaults()
+	sum := &Summary{
+		Config:  cfg,
+		Planned: len(samples),
+		WallMS:  float64(wall) / float64(time.Millisecond),
+	}
+	if cfg.Arrival != ArrivalClosed {
+		sum.OfferedRPS = cfg.RatePerSec
+	}
+
+	type pop struct{ e2e, queue, ttft, perTok, batchWait []float64 }
+	var pops [2]pop
+	class := func(interactive bool) (*ClassSummary, *pop) {
+		if interactive {
+			return &sum.Interactive, &pops[0]
+		}
+		return &sum.Generate, &pops[1]
+	}
+	for _, s := range samples {
+		cs, p := class(s.interactive)
+		cs.Requests++
+		if s.failed {
+			cs.Failed++
+			if cs.ShedByCause == nil {
+				cs.ShedByCause = make(map[string]int)
+			}
+			cause := s.shedCause
+			if cause == "" {
+				cause = "unknown"
+			}
+			cs.ShedByCause[cause]++
+			continue
+		}
+		cs.OK++
+		if s.retries > 0 {
+			cs.Retried++
+		}
+		if s.degraded {
+			cs.DegradedRuns++
+		}
+		p.e2e = append(p.e2e, float64(s.e2e)/float64(time.Millisecond))
+		p.queue = append(p.queue, s.queueMS)
+		if !s.interactive {
+			cs.Tokens += s.tokens
+			if s.ttft > 0 {
+				p.ttft = append(p.ttft, float64(s.ttft)/float64(time.Millisecond))
+			}
+			if s.perTokenMS > 0 {
+				p.perTok = append(p.perTok, s.perTokenMS)
+			}
+			p.batchWait = append(p.batchWait, s.batchWaitMS)
+		}
+	}
+	for i, cs := range []*ClassSummary{&sum.Interactive, &sum.Generate} {
+		p := &pops[i]
+		cs.E2EMS = pctiles(p.e2e)
+		cs.QueueMS = pctiles(p.queue)
+		cs.TTFTMS = pctiles(p.ttft)
+		cs.PerTokenMS = pctiles(p.perTok)
+		cs.BatchWaitMS = pctiles(p.batchWait)
+	}
+	if wall > 0 {
+		secs := wall.Seconds()
+		sum.AchievedRPS = float64(sum.Interactive.OK+sum.Generate.OK) / secs
+		sum.TokensPerSec = float64(sum.Generate.Tokens) / secs
+	}
+	return sum
+}
+
+// serverSnapshot is one scrape of /v1/queue plus /metrics.
+type serverSnapshot struct {
+	shed         map[string]uint64
+	served       map[string]uint64
+	failed       map[string]uint64
+	batchSum     float64
+	batchCount   float64
+	fusedSteps   uint64
+}
+
+// scrapeServer reads the gateway's own counters. Best-effort: a target
+// without /v1/queue (or mid-restart) reports ok=false and the summary
+// simply omits the server-truth section.
+func (r *Runner) scrapeServer() (serverSnapshot, bool) {
+	snap := serverSnapshot{
+		shed:   make(map[string]uint64),
+		served: make(map[string]uint64),
+		failed: make(map[string]uint64),
+	}
+	resp, err := r.client.Get(r.base + "/v1/queue")
+	if err != nil {
+		return snap, false
+	}
+	defer resp.Body.Close()
+	var queue struct {
+		Scheduler struct {
+			Shed    map[string]uint64 `json:"shed"`
+			Classes []struct {
+				Class  string `json:"class"`
+				Served uint64 `json:"served"`
+				Failed uint64 `json:"failed"`
+			} `json:"classes"`
+		} `json:"scheduler"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&queue) != nil {
+		return snap, false
+	}
+	for cause, n := range queue.Scheduler.Shed {
+		snap.shed[cause] = n
+	}
+	for _, c := range queue.Scheduler.Classes {
+		snap.served[c.Class] = c.Served
+		snap.failed[c.Class] = c.Failed
+	}
+	// /metrics is optional (no registry wired): ignore scrape failures.
+	if mresp, err := r.client.Get(r.base + "/metrics"); err == nil {
+		defer mresp.Body.Close()
+		if mresp.StatusCode == http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(mresp.Body, 4<<20))
+			snap.batchSum = promValue(body, "voltage_batch_size_sum")
+			snap.batchCount = promValue(body, "voltage_batch_size_count")
+			snap.fusedSteps = uint64(promValue(body, "voltage_fused_steps_total"))
+		}
+	}
+	return snap, true
+}
+
+// promValue extracts one un-labeled sample value from Prometheus text.
+func promValue(body []byte, family string) float64 {
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, family+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// diffServer reports the across-run delta of two snapshots.
+func diffServer(before, after serverSnapshot) *ServerCounters {
+	sc := &ServerCounters{
+		Shed:   make(map[string]uint64),
+		Served: make(map[string]uint64),
+		Failed: make(map[string]uint64),
+	}
+	for cause, n := range after.shed {
+		if d := n - before.shed[cause]; d > 0 {
+			sc.Shed[cause] = d
+		}
+	}
+	for class, n := range after.served {
+		if d := n - before.served[class]; d > 0 {
+			sc.Served[class] = d
+		}
+	}
+	for class, n := range after.failed {
+		if d := n - before.failed[class]; d > 0 {
+			sc.Failed[class] = d
+		}
+	}
+	if after.fusedSteps >= before.fusedSteps {
+		sc.FusedSteps = after.fusedSteps - before.fusedSteps
+	}
+	if dc := after.batchCount - before.batchCount; dc > 0 {
+		sc.MeanBatchWidth = (after.batchSum - before.batchSum) / dc
+	}
+	return sc
+}
+
+// TableRow renders the one-line fixed-width summary the grid runner
+// prints per cell.
+func (s *Summary) TableRow(label string) string {
+	return fmt.Sprintf("%-28s ok %4d/%4d  shed %3d  rps %7.1f  tok/s %8.1f  e2e p50/p95/p99 %6.1f/%6.1f/%6.1f ms  ttft p95 %6.1f ms",
+		label,
+		s.Interactive.OK+s.Generate.OK,
+		s.Interactive.Requests+s.Generate.Requests,
+		s.Interactive.Failed+s.Generate.Failed,
+		s.AchievedRPS, s.TokensPerSec,
+		mergedP(s, func(p Pctiles) float64 { return p.P50 }),
+		mergedP(s, func(p Pctiles) float64 { return p.P95 }),
+		mergedP(s, func(p Pctiles) float64 { return p.P99 }),
+		s.Generate.TTFTMS.P95,
+	)
+}
+
+// mergedP blends the two classes' percentile weighted by population —
+// display only; per-class JSON keeps the exact populations.
+func mergedP(s *Summary, f func(Pctiles) float64) float64 {
+	ni, ng := s.Interactive.E2EMS.Count, s.Generate.E2EMS.Count
+	if ni+ng == 0 {
+		return 0
+	}
+	return (f(s.Interactive.E2EMS)*float64(ni) + f(s.Generate.E2EMS)*float64(ng)) / float64(ni+ng)
+}

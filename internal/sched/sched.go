@@ -416,10 +416,20 @@ func (s *Scheduler) next() *item {
 }
 
 // pickLocked applies the fairness policy: interactive first, but after
-// InteractiveBurst consecutive interactive dispatches a waiting batch job
-// takes the slot. Within a class the EDF heap orders the pop.
+// InteractiveBurst consecutive interactive dispatches that made batch work
+// wait, a waiting batch job takes the slot. Within a class the EDF heap
+// orders the pop.
+//
+// The burst counter only measures interactive dispatches issued while
+// batch work was actually queued behind them: it stays zero through an
+// interactive-only stretch, so a batch job arriving fresh cannot cash in a
+// stale "burst credit" and preempt interactive traffic it never waited
+// behind.
 func (s *Scheduler) pickLocked() *item {
 	qi, qb := s.queues[Interactive], s.queues[Batch]
+	if qb.Len() == 0 {
+		s.interactiveRun = 0
+	}
 	var class Class
 	switch {
 	case qi.Len() == 0 && qb.Len() == 0:
@@ -434,7 +444,9 @@ func (s *Scheduler) pickLocked() *item {
 		class = Interactive
 	}
 	if class == Interactive {
-		s.interactiveRun++
+		if qb.Len() > 0 {
+			s.interactiveRun++
+		}
 	} else {
 		s.interactiveRun = 0
 	}

@@ -294,6 +294,60 @@ func TestFairnessBatchNotStarved(t *testing.T) {
 	}
 }
 
+// TestFairnessNoStaleBurstCredit is the PR-8 fairness regression: the
+// burst counter must only advance while batch work is actually waiting. A
+// batch job arriving after a long interactive-only stretch starts from a
+// clean slate — it must NOT instantly preempt interactive work queued
+// ahead of it on the strength of dispatches it never waited behind.
+func TestFairnessNoStaleBurstCredit(t *testing.T) {
+	s := New(Options{Workers: 1, InteractiveBurst: 2, InteractiveDepth: 64, BatchDepth: 4})
+	defer s.Close()
+
+	// Build a long interactive-only history: every one of these dispatches
+	// happens with an empty batch queue, so none may earn burst credit.
+	for i := 0; i < 6; i++ {
+		if err := s.Do(context.Background(), Job{Class: Interactive, Run: func(context.Context, time.Duration) error {
+			return nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Park the worker, then queue one interactive job followed by the
+	// first batch job this scheduler has ever seen.
+	release, occ := occupy(t, s, Interactive)
+	var mu sync.Mutex
+	var order []Class
+	record := func(class Class) chan error {
+		ch := make(chan error, 1)
+		go func() {
+			ch <- s.Do(context.Background(), Job{Class: class, Run: func(context.Context, time.Duration) error {
+				mu.Lock()
+				order = append(order, class)
+				mu.Unlock()
+				return nil
+			}})
+		}()
+		return ch
+	}
+	iCh := record(Interactive)
+	waitDepth(t, s, Interactive, 1)
+	bCh := record(Batch)
+	waitDepth(t, s, Batch, 1)
+
+	release()
+	<-occ
+	if err := <-iCh; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-bCh; err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != Interactive || order[1] != Batch {
+		t.Fatalf("dispatch order = %v, want [interactive batch]: the batch job consumed a stale burst credit", order)
+	}
+}
+
 func TestDegradedSheds(t *testing.T) {
 	var mu sync.Mutex
 	state := ClusterState{}

@@ -48,7 +48,9 @@ type Backend interface {
 	// ClassifyTokens serves one classification request.
 	ClassifyTokens(ctx context.Context, strategy cluster.Strategy, ids []int) (*core.Prediction, error)
 	// GenerateStream decodes steps tokens, calling onToken as each is
-	// produced. Backends without generation support return an error.
+	// produced. Backends without generation support return an error. A
+	// mid-stream failure may return a non-nil partial result alongside
+	// the error, carrying the accounting accumulated before the failure.
 	GenerateStream(ctx context.Context, prompt []int, steps int, onToken func(tok int)) (*cluster.GenerateResult, error)
 	// Health reports per-worker serving eligibility (empty when the
 	// backend has no health tracking).
@@ -224,6 +226,19 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return dec.Decode(v)
 }
 
+// writeBodyError renders a decodeBody failure. A body tripping the
+// MaxBytesReader limit is a size-limit violation, not a malformed request:
+// it answers 413 so load-test clients can tell the two apart; everything
+// else is the usual 400.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
 // resolveTokens maps a request's tokens-or-text onto token ids.
 func (s *Server) resolveTokens(tokens []int, text string) ([]int, error) {
 	switch {
@@ -268,7 +283,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	var req classifyRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeBodyError(w, err)
 		return
 	}
 	ids, err := s.resolveTokens(req.Tokens, req.Text)
@@ -353,6 +368,9 @@ type generateChunk struct {
 	Retries  int    `json:"retries,omitempty"`
 	Degraded bool   `json:"degraded,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Streamed is set on an error summary line: how many token lines the
+	// client received before the failure, so partial streams measure.
+	Streamed int `json:"streamed,omitempty"`
 }
 
 // handleGenerate serves POST /v1/generate through the batch queue,
@@ -364,7 +382,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req generateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeBodyError(w, err)
 		return
 	}
 	prompt, err := s.resolveTokens(req.Prompt, req.Text)
@@ -398,19 +416,30 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The Run closure publishes its measurements here so a failed stream
+	// can still account for itself on the error summary line. sch.Do only
+	// returns after Run has resolved, so the reads below are ordered.
+	var (
+		streamed int
+		waited   time.Duration
+		partial  *cluster.GenerateResult
+	)
 	err = s.sch.Do(r.Context(), sched.Job{
 		Class:    sched.Batch,
 		Deadline: deadlineFor(req.TimeoutMS),
 		Est:      s.opts.EstimateBatch,
 		EstFn:    s.generateEst(),
-		Run: func(ctx context.Context, waited time.Duration) error {
-			index := 0
+		Run: func(ctx context.Context, w time.Duration) error {
+			waited = w
 			res, err := s.backend.GenerateStream(ctx, prompt, steps, func(tok int) {
 				t := tok
-				emit(generateChunk{Token: &t, Index: index})
-				index++
+				emit(generateChunk{Token: &t, Index: streamed})
+				streamed++
 			})
 			if err != nil {
+				// A mid-stream failure may carry the partial result with
+				// its committed accounting (attempts, degradation, waits).
+				partial = res
 				return err
 			}
 			emit(generateChunk{
@@ -428,8 +457,24 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if started {
-			// The stream is already committed: report the failure in-band.
-			emit(generateChunk{Done: true, Error: err.Error()})
+			// The stream is already committed: report the failure in-band,
+			// with the accounting the request accumulated before dying —
+			// queue wait, tokens already streamed, and (when the backend
+			// returned a partial result) its retry/degradation history.
+			chunk := generateChunk{
+				Done:     true,
+				Error:    err.Error(),
+				QueueMS:  float64(waited) / float64(time.Millisecond),
+				Streamed: streamed,
+			}
+			if partial != nil {
+				chunk.BatchWaitMS = float64(partial.BatchWait) / float64(time.Millisecond)
+				chunk.PrefillMS = float64(partial.PrefillLatency) / float64(time.Millisecond)
+				chunk.DecodeMS = float64(partial.DecodeLatency) / float64(time.Millisecond)
+				chunk.Retries = max(partial.Attempts-1, 0)
+				chunk.Degraded = partial.Degraded
+			}
+			emit(chunk)
 			return
 		}
 		writeError(w, err)

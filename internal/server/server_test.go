@@ -270,6 +270,127 @@ func (f *fakeBackend) GenerateStream(ctx context.Context, prompt []int, steps in
 	return &cluster.GenerateResult{Tokens: tokens}, nil
 }
 
+// TestOversizedBody413 is the PR-8 body-limit regression: a request body
+// tripping http.MaxBytesReader must answer 413 Request Entity Too Large,
+// not a generic 400, so clients can tell size limits from protocol errors.
+func TestOversizedBody413(t *testing.T) {
+	fb := newFakeBackend()
+	_, ts := newGateway(t, fb, Options{MaxBody: 64})
+
+	big := map[string]any{"tokens": make([]int, 512)}
+	for _, path := range []string{"/v1/classify", "/v1/generate"} {
+		resp := postJSON(t, ts.URL+path, big)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body status = %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// A malformed-but-small body is still the caller's 400.
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// failingBackend streams a few tokens then fails, returning a partial
+// result the way the cluster's batcher does for a sequence that died
+// mid-batch past its retry budget.
+type failingBackend struct {
+	*fakeBackend
+	failAfter int
+	err       error
+}
+
+func (f *failingBackend) GenerateStream(_ context.Context, prompt []int, _ int, onToken func(tok int)) (*cluster.GenerateResult, error) {
+	tokens := append([]int(nil), prompt...)
+	for i := 0; i < f.failAfter; i++ {
+		tok := i + 1
+		tokens = append(tokens, tok)
+		onToken(tok)
+	}
+	return &cluster.GenerateResult{
+		Tokens:         tokens,
+		BatchWait:      3 * time.Millisecond,
+		PrefillLatency: 2 * time.Millisecond,
+		DecodeLatency:  5 * time.Millisecond,
+		Attempts:       3,
+		Degraded:       true,
+	}, f.err
+}
+
+// TestErrorChunkCarriesPartialStats is the PR-8 stream-accounting
+// regression: a /v1/generate failure after the stream committed must not
+// answer with a bare {"done":true,"error":...} — the summary line carries
+// the queue wait, the number of tokens already streamed, and the partial
+// result's retry/degradation accounting, so harness measurements of failed
+// streams aren't blind.
+func TestErrorChunkCarriesPartialStats(t *testing.T) {
+	fb := &failingBackend{
+		fakeBackend: newFakeBackend(),
+		failAfter:   2,
+		err:         errors.New("device lost mid-stream"),
+	}
+	_, ts := newGateway(t, fb, Options{})
+
+	resp := postJSON(t, ts.URL+"/v1/generate", map[string]any{"prompt": []int{1, 2}, "steps": 8})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (stream committed before the failure)", resp.StatusCode)
+	}
+
+	var tokenLines int
+	var final *generateChunk
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var chunk generateChunk
+		if err := json.Unmarshal(sc.Bytes(), &chunk); err != nil {
+			t.Fatalf("bad chunk %q: %v", sc.Text(), err)
+		}
+		if chunk.Done {
+			c := chunk
+			final = &c
+			continue
+		}
+		tokenLines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tokenLines != 2 {
+		t.Fatalf("streamed %d token lines, want 2", tokenLines)
+	}
+	if final == nil {
+		t.Fatal("stream ended without a summary line")
+	}
+	if final.Error == "" {
+		t.Fatal("summary line carries no error")
+	}
+	if final.Streamed != 2 {
+		t.Errorf("error chunk streamed = %d, want 2", final.Streamed)
+	}
+	if final.Retries != 2 {
+		t.Errorf("error chunk retries = %d, want 2 (attempts 3)", final.Retries)
+	}
+	if !final.Degraded {
+		t.Error("error chunk degraded = false, want true")
+	}
+	if final.QueueMS <= 0 {
+		t.Errorf("error chunk queue_ms = %v, want > 0", final.QueueMS)
+	}
+	if final.BatchWaitMS != 3 {
+		t.Errorf("error chunk batch_wait_ms = %v, want 3", final.BatchWaitMS)
+	}
+	if final.DecodeMS != 5 {
+		t.Errorf("error chunk decode_ms = %v, want 5", final.DecodeMS)
+	}
+}
+
 // TestShedQueueFull429 is the chaos satellite: under a burst that exceeds
 // worker + queue capacity, surplus requests shed with typed 429s carrying
 // Retry-After, admitted ones all succeed, the shed is visible on /metrics,

@@ -275,4 +275,45 @@ done
 kill "$BC_PID" 2>/dev/null || true
 wait "$BC_PID" 2>/dev/null || true
 
+echo "== load smoke: voltage-load replays a seeded mixed trace, summary schema-checked"
+# Start a batching gateway, replay the checked-in 2-second mixed-class
+# trace with the load harness, and gate on the harness's own checks:
+# -require-served fails unless both classes completed requests, and -check
+# validates the summary JSON against the harness schema (the same Go
+# helper that guards BENCH_<pr>.json files — no external deps).
+LS_ADDR="127.0.0.1:19159"
+LS_LOG="$(mktemp)"
+LS_SUM="$(mktemp)"
+go run ./cmd/voltage-server -local 3 -model tiny-decoder -listen "$LS_ADDR" \
+    -gateway-workers 8 -max-batch 8 -batch-window 2ms \
+    -hold 120s -drain-timeout 5s >"$LS_LOG" 2>&1 &
+LS_PID=$!
+trap 'kill "$ADMIN_PID" "$GW_PID" "$BD_PID" "$BC_PID" "$LS_PID" 2>/dev/null || true; rm -f "$ADMIN_LOG" "$GW_LOG" "$BD_LOG" "$BC_LOG" "$LS_LOG" "$LS_SUM"' EXIT
+LS_READY=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$LS_ADDR/healthz" 2>/dev/null | grep -q '"ok":true'; then
+        LS_READY=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$LS_READY" ]; then
+    echo "load smoke: gateway never became healthy" >&2
+    cat "$LS_LOG" >&2
+    exit 1
+fi
+go run ./cmd/voltage-load -trace scripts/bench/trace-smoke.json \
+    -target "http://$LS_ADDR" -out "$LS_SUM" -require-served || {
+    echo "load smoke: harness run failed" >&2
+    cat "$LS_LOG" >&2
+    exit 1
+}
+go run ./cmd/voltage-load -check "$LS_SUM" || {
+    echo "load smoke: summary JSON failed the schema check" >&2
+    cat "$LS_SUM" >&2
+    exit 1
+}
+kill "$LS_PID" 2>/dev/null || true
+wait "$LS_PID" 2>/dev/null || true
+
 echo "CI OK"
