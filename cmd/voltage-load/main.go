@@ -8,7 +8,9 @@
 //
 //	-trace cfg.json -target http://host:port
 //	    replay one trace against a running gateway; write the summary
-//	    JSON to -out (default stdout)
+//	    JSON to -out (default stdout). With -trace-out FILE, also
+//	    download the gateway's Chrome trace export (/debug/trace) for
+//	    chrome://tracing / Perfetto
 //	-grid cfg.json
 //	    run the experiment grid (offered load × MaxBatch × workers,
 //	    N repeats) over hermetic in-process gateways; write the
@@ -58,6 +60,7 @@ func run(args []string, w io.Writer) error {
 	compare := fs.String("compare", "", "baseline BENCH_*.json to compare aggregate tok/s against")
 	threshold := fs.Float64("threshold", 0.10, "fractional regression tolerance for -compare")
 	requireServed := fs.Bool("require-served", false, "-trace: exit nonzero unless both classes completed at least one request")
+	traceOut := fs.String("trace-out", "", "-trace: after the run, download the gateway's Chrome trace export (/debug/trace) to this file (open in chrome://tracing or Perfetto)")
 	seed := fs.Int64("seed", 0, "override the trace config's seed (0 = keep)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +113,16 @@ func run(args []string, w io.Writer) error {
 				return fmt.Errorf("served counts interactive=%d generate=%d, want both > 0",
 					sum.Interactive.OK, sum.Generate.OK)
 			}
+		}
+		if *traceOut != "" {
+			blob, events, err := loadgen.FetchChromeTrace(nil, *target)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*traceOut, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "chrome trace: %d events → %s\n", events, *traceOut)
 		}
 	case *gridPath != "":
 		cfg, err := loadgen.LoadGridConfig(*gridPath)

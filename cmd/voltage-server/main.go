@@ -122,6 +122,7 @@ func run(args []string, w io.Writer) error {
 		closers = append(closers, mb.close)
 		backend = mb
 		registry = metrics.NewRegistry()
+		metrics.RegisterRuntime(registry)
 		fmt.Fprintf(w, "mesh formed: terminal of %d workers\n", len(list)-1)
 	} else {
 		if *local < 1 {
@@ -139,6 +140,10 @@ func run(args []string, w io.Writer) error {
 			MaxBatch:       *maxBatch,
 			BatchWindow:    *batchWindow,
 			WrapTransport:  chaosWrap(*chaosKillRank, *chaosKillAfter),
+			// Dump the flight recorder to stderr on request failures, so a
+			// crashed deployment leaves its last-moments diagnostics in the
+			// process log even when nobody curled /debug/flight in time.
+			FlightSink: os.Stderr,
 		})
 		if err != nil {
 			return err

@@ -21,14 +21,14 @@ import (
 // sequences into a single long-lived "batched-generate" request whose
 // terminal loop alternates three boundaries —
 //
-//   join:    queued sequences prefill (each an Algorithm-2 round that also
-//            builds its K/V caches on every worker), up to MaxBatch live;
-//   produce: each live sequence's next token is decoded from its last
-//            hidden row; finished or canceled sequences leave;
-//   step:    one fused frame carries every live sequence's newest token to
-//            the workers, which advance all caches with a single batched
-//            matmul per weight per layer and return the fused B×F hidden
-//            rows in one message.
+//	join:    queued sequences prefill (each an Algorithm-2 round that also
+//	         builds its K/V caches on every worker), up to MaxBatch live;
+//	produce: each live sequence's next token is decoded from its last
+//	         hidden row; finished or canceled sequences leave;
+//	step:    one fused frame carries every live sequence's newest token to
+//	         the workers, which advance all caches with a single batched
+//	         matmul per weight per layer and return the fused B×F hidden
+//	         rows in one message.
 //
 // K concurrent streams thus pay one broadcast round per token instead of K,
 // and the position-wise work fuses across the batch dimension. Per-sequence
@@ -57,10 +57,10 @@ import (
 //
 // Terminal→worker frames (FIFO links; first byte is the opcode):
 //
-//   opPrefill  [1][seqID u32]            then the embedded prompt blob
-//   opStep     [2][B u16][B×(seqID u32, token u32)]
-//   opLeave    [3][seqID u32]
-//   zero-length frame                    batch request shutdown
+//	opPrefill  [1][seqID u32]            then the embedded prompt blob
+//	opStep     [2][B u16][B×(seqID u32, token u32)]
+//	opLeave    [3][seqID u32]
+//	zero-length frame                    batch request shutdown
 const (
 	opPrefill = 1
 	opStep    = 2
@@ -121,6 +121,10 @@ type batcher struct {
 	live    int // sequences taken by the running batch, not yet left
 	running bool
 	nextID  uint32
+	// lastPlan remembers the previous round's live-set signature so the
+	// flight recorder logs plan changes (degraded entry/recovery), not
+	// every round.
+	lastPlan string
 }
 
 // add enqueues a sequence and ensures a batch request is running.
@@ -207,6 +211,17 @@ func (b *batcher) run() {
 		if perr != nil {
 			b.failPending(perr)
 			return
+		}
+		// Log plan changes — full-strength start, degraded entry, recovery —
+		// once per transition rather than per round.
+		sig := fmt.Sprintf("degraded=%v live=%v", degraded, live)
+		if sig != b.lastPlan {
+			b.lastPlan = sig
+			if degraded {
+				c.flight.Eventf("degraded_entry", -1, "batch plan re-sliced over live ranks %v", live)
+			} else {
+				c.flight.Eventf("batch_plan", -1, "batch running at full strength (k=%d)", c.k)
+			}
 		}
 		if live != nil && len(live) == 0 {
 			// No surviving worker: serve each pending sequence on the
@@ -373,10 +388,12 @@ func (b *batcher) adjudicate(req *request, faults int) {
 	if recoverable {
 		// req.errs is safe to read here: collect() waits for every worker
 		// before resolving the request.
-		if blamed, bcause := blameRank(req.errs, c.k); blamed >= 0 {
+		blamed, bcause := blameRank(req.errs, c.k)
+		if blamed >= 0 {
 			c.health.recordFailure(blamed, bcause)
 		}
 		c.metrics.batchRecovery(cause)
+		c.flight.Eventf("batch_recovery", blamed, "fused round died (fault %d): %v", faults, cause)
 	}
 	budget := 1 + c.opts.MaxRetries
 	var doomed []*batchSeq
@@ -594,7 +611,7 @@ func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, 
 
 		// Fused step: one frame out, one fused hidden matrix back from the
 		// lowest live rank.
-		frame := stepFrame(live)
+		frame := c.stepFrame(live)
 		for _, r := range ranks {
 			if err := p.Send(ctx, r, frame); err != nil {
 				return fail(err)
@@ -889,13 +906,16 @@ func (b *batcher) accumulate(req *request, s *batchSeq) {
 	c.metrics.batchLeave()
 }
 
-// stepFrame encodes one fused decode step: every live sequence's id and
-// newest token, in batch order.
-func stepFrame(live []*batchSeq) []byte {
-	buf := make([]byte, 3+8*len(live))
+// stepFrame encodes one fused decode step: a cluster-global round number
+// (so every rank's step time lands in the same skew-detector round, stable
+// across degraded transitions), then every live sequence's id and newest
+// token, in batch order.
+func (c *Cluster) stepFrame(live []*batchSeq) []byte {
+	buf := make([]byte, 7+8*len(live))
 	buf[0] = opStep
-	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(live)))
-	off := 3
+	binary.LittleEndian.PutUint32(buf[1:5], c.stepRound.Add(1))
+	binary.LittleEndian.PutUint16(buf[5:7], uint16(len(live)))
+	off := 7
 	for _, s := range live {
 		binary.LittleEndian.PutUint32(buf[off:], s.id)
 		binary.LittleEndian.PutUint32(buf[off+4:], uint32(s.tokens[len(s.tokens)-1]))
@@ -939,17 +959,18 @@ func (c *Cluster) batchWorker(ctx context.Context, p comm.Peer, ex *comm.Exchang
 			}
 			states[id] = state
 		case opStep:
-			if len(frame) < 3 {
+			if len(frame) < 7 {
 				return fmt.Errorf("cluster: step frame of %d bytes", len(frame))
 			}
-			n := int(binary.LittleEndian.Uint16(frame[1:3]))
-			if len(frame) != 3+8*n {
+			round := binary.LittleEndian.Uint32(frame[1:5])
+			n := int(binary.LittleEndian.Uint16(frame[5:7]))
+			if len(frame) != 7+8*n {
 				return fmt.Errorf("cluster: step frame of %d bytes for %d sequences", len(frame), n)
 			}
 			sts := make([]*model.DecodeState, n)
 			ids := make([]int, n)
 			for i := 0; i < n; i++ {
-				off := 3 + 8*i
+				off := 7 + 8*i
 				id := binary.LittleEndian.Uint32(frame[off:])
 				st, ok := states[id]
 				if !ok {
@@ -973,6 +994,12 @@ func (c *Cluster) batchWorker(ctx context.Context, p comm.Peer, ex *comm.Exchang
 			if err := c.paceRank(ctx, rank, start, decodeStepCost(m, positions...)); err != nil {
 				return err
 			}
+			// Pace-inclusive elapsed time is this rank's emulated device time
+			// for the fused step — exactly what the skew detector compares.
+			elapsed := time.Since(start)
+			c.recordPhase(req, rank, -1, trace.PhaseCompute, elapsed)
+			c.metrics.observeStepDur(elapsed)
+			c.obs.RecordRound(uint64(round), rank, len(req.liveRanks(c)), elapsed)
 			if me == 0 {
 				if err := p.Send(ctx, term, ex.Encode(rows)); err != nil {
 					return err

@@ -185,9 +185,11 @@ func TestBatchedGenerateChaosDelayedPeerStaysExact(t *testing.T) {
 	// A flaky-delay peer slows fused steps but must not perturb a single
 	// token: membership and exactness hold under chaos.
 	c := newTinyDecoder(t, 3, Options{
-		MaxBatch:      4,
-		BatchWindow:   30 * time.Millisecond,
-		WrapTransport: wrapRank(1, func(p comm.Peer) comm.Peer { return &comm.FlakyPeer{Inner: p, DelayEvery: 3, Delay: 2 * time.Millisecond} }),
+		MaxBatch:    4,
+		BatchWindow: 30 * time.Millisecond,
+		WrapTransport: wrapRank(1, func(p comm.Peer) comm.Peer {
+			return &comm.FlakyPeer{Inner: p, DelayEvery: 3, Delay: 2 * time.Millisecond}
+		}),
 	})
 	defer c.Close()
 	const steps = 5

@@ -18,6 +18,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"voltage/internal/metrics"
 	"voltage/internal/model"
 	"voltage/internal/netem"
+	"voltage/internal/obs"
 	"voltage/internal/partition"
 	"voltage/internal/tensor"
 	"voltage/internal/tparallel"
@@ -188,8 +190,26 @@ type Options struct {
 	// AdminAddr, when non-empty, starts an HTTP admin listener on this
 	// address (host:port; port 0 picks a free one — read it back with
 	// Cluster.AdminAddr) serving Prometheus text on /metrics, a health
-	// probe on /healthz, and net/http/pprof. It closes with the cluster.
+	// probe on /healthz, net/http/pprof, the flight recorder on
+	// /debug/flight, and Chrome trace-event export on /debug/trace. It
+	// closes with the cluster.
 	AdminAddr string
+
+	// Continuous profiling (see DESIGN.md "Continuous profiling &
+	// diagnostics"). The profile store and flight recorder are always on —
+	// they are bounded, lock-cheap, and independent of NoMetrics.
+
+	// SkewThreshold is the per-fused-round max/mean compute-time ratio a
+	// rank must sustain to be flagged a persistent straggler (default 1.5);
+	// StragglerRounds is how many consecutive rounds over (or back under)
+	// the threshold flip the flag (default 4).
+	SkewThreshold   float64
+	StragglerRounds int
+	// FlightSink, when non-nil, receives an automatic flight-recorder dump
+	// (JSON) whenever a request resolves with a non-cancellation error, rate-
+	// limited to one dump per 30s. voltage-server wires stderr; the library
+	// default is off so fault-injection tests stay quiet.
+	FlightSink io.Writer
 }
 
 // Cluster is an in-process emulation of a terminal device plus K workers.
@@ -210,9 +230,15 @@ type Cluster struct {
 
 	// Observability. metrics is nil under Options.NoMetrics — every
 	// clusterMetrics method is nil-receiver-safe, so record sites need no
-	// guards. admin is nil unless Options.AdminAddr was set.
-	metrics *clusterMetrics
-	admin   *metrics.AdminServer
+	// guards. admin is nil unless Options.AdminAddr was set. The profile
+	// store and flight recorder are always on (bounded, lock-cheap);
+	// stepRound numbers fused decode rounds cluster-wide so workers can
+	// correlate their per-round step times across degraded transitions.
+	metrics   *clusterMetrics
+	admin     *metrics.AdminServer
+	obs       *obs.Store
+	flight    *obs.FlightRecorder
+	stepRound atomic.Uint32
 
 	// Serving runtime state.
 	batcher     *batcher           // continuous-batching manager for generation
@@ -319,9 +345,31 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 		collectCh: make(chan *request, depthOr(opts.InflightDepth, defaultInflightDepth)),
 		admitCh:   make([]chan *request, k),
 	}
-	// Health transitions mirror into the per-rank gauge; the method value is
-	// nil-receiver-safe, so this wires unconditionally.
-	c.health.onTransition = cm.healthTransition
+	// The flight recorder and profile store are always on; skew rounds and
+	// straggler flips mirror into gauges (nil-receiver-safe under NoMetrics)
+	// and the flight-recorder event log.
+	c.flight = obs.NewFlightRecorder(0, 0)
+	c.obs = obs.NewStore(obs.StoreOptions{
+		K:               k,
+		SkewThreshold:   opts.SkewThreshold,
+		StragglerRounds: opts.StragglerRounds,
+		OnRound:         func(_ uint64, skew, ewma float64) { cm.observeSkew(skew, ewma) },
+		OnStraggler: func(rank int, flagged bool) {
+			cm.stragglerFlag(rank, flagged)
+			state := "flagged as persistent straggler"
+			if !flagged {
+				state = "recovered from straggler state"
+			}
+			c.flight.Eventf("straggler", rank, "rank %d %s", rank, state)
+		},
+	})
+	// Health transitions mirror into the per-rank gauge and the flight
+	// recorder; the tracker invokes this under its own lock, so the handler
+	// must not call back into health (both sinks only touch their own state).
+	c.health.onTransition = func(rank int, from, to HealthState) {
+		cm.healthTransition(rank, from, to)
+		c.flight.Eventf("health", rank, "rank %d: %s -> %s", rank, from, to)
+	}
 	c.batcher = &batcher{c: c}
 	for r := range c.admitCh {
 		c.admitCh[r] = make(chan *request, depthOr(opts.AdmitDepth, defaultAdmitDepth))
@@ -331,7 +379,9 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 	}
 	c.serveCtx, c.serveCancel = context.WithCancel(context.Background())
 	if opts.AdminAddr != "" {
-		admin, err := metrics.StartAdmin(opts.AdminAddr, cm.registry(), c.healthCheck)
+		admin, err := metrics.StartAdmin(opts.AdminAddr, cm.registry(), c.healthCheck,
+			metrics.Endpoint{Path: "/debug/flight", Handler: c.flightHandler()},
+			metrics.Endpoint{Path: "/debug/trace", Handler: c.traceHandler()})
 		if err != nil {
 			_ = peers[0].Close()
 			return nil, fmt.Errorf("cluster: admin listener: %w", err)

@@ -184,16 +184,19 @@ func (c *Cluster) prefillWorker(ctx context.Context, p comm.Peer, ex *comm.Excha
 				return nil, err
 			}
 		}
+		c.recordPhase(req, rank, li, trace.PhaseCompute, time.Since(start))
 		if li == len(m.Layers)-1 {
 			if err := p.Send(ctx, term, ex.Encode(part)); err != nil {
 				return nil, err
 			}
 			break
 		}
+		commStart := time.Now()
 		x, err = comm.AllGatherMatrix(ctx, group, part, ranges, c.opts.RingAllGather)
 		if err != nil {
 			return nil, fmt.Errorf("layer %d allgather: %w", li, err)
 		}
+		c.recordPhase(req, rank, li, trace.PhaseComm, time.Since(commStart))
 	}
 	return state, nil
 }

@@ -58,17 +58,26 @@ type clusterMetrics struct {
 	batchJoins  *metrics.Counter
 	batchLeaves *metrics.Counter
 	batchWait   *metrics.Histogram
+	stepDur     *metrics.Histogram
+
+	// Straggler/skew detection: per-fused-round compute-time skew (max/mean
+	// across live ranks) and the per-rank persistent-straggler flags.
+	roundSkew      *metrics.Gauge
+	roundSkewEWMA  *metrics.Gauge
+	stragglerRanks []*metrics.Gauge
+	stragglerOn    *metrics.Counter
+	stragglerOff   *metrics.Counter
 
 	// Batch fault recovery: failed fused rounds whose survivors were
 	// re-sliced and resumed (by cause), plus blast-radius accounting — how
 	// many co-batched sequences a fault actually killed versus how many were
 	// parked and resumed.
-	recTimeout   *metrics.Counter
-	recCorrupt   *metrics.Counter
-	recInjected  *metrics.Counter
-	recOther     *metrics.Counter
-	seqsFailed   *metrics.Counter
-	seqsResumed  *metrics.Counter
+	recTimeout  *metrics.Counter
+	recCorrupt  *metrics.Counter
+	recInjected *metrics.Counter
+	recOther    *metrics.Counter
+	seqsFailed  *metrics.Counter
+	seqsResumed *metrics.Counter
 
 	queueLen *metrics.Gauge
 	inflight *metrics.Gauge
@@ -165,6 +174,25 @@ func newClusterMetrics(k int) *clusterMetrics {
 	m.batchWait = reg.Histogram("voltage_batch_wait_seconds",
 		"Time each generate sequence waited before joining a decode batch.",
 		metrics.LatencyBuckets)
+	m.stepDur = reg.Histogram("voltage_fused_step_seconds",
+		"Per-rank fused decode-step time (pace-inclusive emulated device time).",
+		metrics.StepBuckets)
+
+	m.roundSkew = reg.Gauge("voltage_round_skew",
+		"Last fused round's compute-time skew: max/mean across live ranks (1.0 = balanced).")
+	m.roundSkewEWMA = reg.Gauge("voltage_round_skew_ewma",
+		"Rolling average of per-round compute-time skew.")
+	stragglers := reg.GaugeVec("voltage_straggler",
+		"1 while the rank is flagged as a persistent straggler by the skew detector.", "rank")
+	m.stragglerRanks = make([]*metrics.Gauge, k)
+	for r := 0; r < k; r++ {
+		m.stragglerRanks[r] = stragglers.With(rankLabel(r, k))
+		m.stragglerRanks[r].Set(0)
+	}
+	stragglerFlips := reg.CounterVec("voltage_straggler_transitions_total",
+		"Straggler-flag transitions, by direction.", "state")
+	m.stragglerOn = stragglerFlips.With("flagged")
+	m.stragglerOff = stragglerFlips.With("cleared")
 
 	recoveries := reg.CounterVec("voltage_batch_recoveries_total",
 		"Batch rounds that died to a retryable fault and were re-dispatched over the surviving workers, by cause.", "cause")
@@ -232,6 +260,8 @@ func newClusterMetrics(k int) *clusterMetrics {
 	m.phaseComm = phase.With(trace.PhaseComm.String())
 	m.phaseBoundary = phase.With(trace.PhaseBoundary.String())
 	m.phaseRecover = phase.With(trace.PhaseRecover.String())
+
+	metrics.RegisterRuntime(reg)
 
 	return m
 }
@@ -311,6 +341,37 @@ func (m *clusterMetrics) observeBatchStep(width int) {
 	}
 	m.batchSize.Observe(float64(width))
 	m.fusedSteps.Inc()
+}
+
+// observeStepDur records one rank's fused decode-step time.
+func (m *clusterMetrics) observeStepDur(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stepDur.Observe(d.Seconds())
+}
+
+// observeSkew mirrors the profile store's per-round skew into gauges.
+func (m *clusterMetrics) observeSkew(skew, ewma float64) {
+	if m == nil {
+		return
+	}
+	m.roundSkew.Set(skew)
+	m.roundSkewEWMA.Set(ewma)
+}
+
+// stragglerFlag mirrors a persistent-straggler flag flip.
+func (m *clusterMetrics) stragglerFlag(rank int, flagged bool) {
+	if m == nil || rank < 0 || rank >= len(m.stragglerRanks) {
+		return
+	}
+	if flagged {
+		m.stragglerRanks[rank].Set(1)
+		m.stragglerOn.Inc()
+	} else {
+		m.stragglerRanks[rank].Set(0)
+		m.stragglerOff.Inc()
+	}
 }
 
 // batchJoin counts a sequence joining the decode batch.

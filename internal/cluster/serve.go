@@ -248,6 +248,8 @@ func (p *Pending) Wait(ctx context.Context) (*Result, error) {
 // spawn them.
 func (c *Cluster) Serve() {
 	c.serveOnce.Do(func() {
+		c.flight.Eventf("serving", -1, "serving runtime started: %d workers + terminal, max batch %d",
+			c.k, c.maxBatch())
 		for r := 0; r < c.k; r++ {
 			go c.workerLoop(r)
 		}
@@ -423,13 +425,15 @@ func (c *Cluster) flushResidue() {
 }
 
 // recordPhase feeds one timed step to every observer: the lifetime
-// Recorder, the request's span trace, and the phase counters — each of
-// which may individually be disabled (all three sinks are nil-safe).
-// layer is -1 for boundary work that belongs to no layer.
+// Recorder, the request's span trace, the phase counters, and the rolling
+// per-rank profile — each of which may individually be disabled (all four
+// sinks are nil-safe). layer is -1 for boundary work that belongs to no
+// layer.
 func (c *Cluster) recordPhase(req *request, rank, layer int, phase trace.Phase, d time.Duration) {
 	c.opts.Recorder.Add(rank, phase, d)
 	req.trace.Add(rank, layer, phase, d)
 	c.metrics.phase(phase, d)
+	c.obs.RecordPhase(rank, phase, d)
 }
 
 // drainQueue fails every queued-but-undispatched request at shutdown.
@@ -523,6 +527,7 @@ func (c *Cluster) collect(req *request, ex *comm.Exchange) {
 	if !req.supervised {
 		c.metrics.observeRequest(1, req.degraded, cause)
 	}
+	c.observeResolved(req, cause)
 	c.metrics.inflightAdd(-1)
 	req.finish(cause)
 }

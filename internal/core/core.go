@@ -12,6 +12,7 @@ import (
 	"voltage/internal/cluster"
 	"voltage/internal/metrics"
 	"voltage/internal/model"
+	"voltage/internal/obs"
 	"voltage/internal/tensor"
 )
 
@@ -55,6 +56,22 @@ func (e *Engine) Metrics() metrics.Snapshot { return e.cluster.Metrics() }
 // or "" when ClusterOptions.AdminAddr did not request one. With a port-0
 // address this is how the chosen port is discovered.
 func (e *Engine) AdminAddr() string { return e.cluster.AdminAddr() }
+
+// Profile returns the continuous profiler's rolling per-rank estimates:
+// EWMA phase and fused-step times, comm bytes, round skew, and straggler
+// flags. This is the input a re-partitioning policy would consume.
+func (e *Engine) Profile() obs.Profile { return e.cluster.Profile() }
+
+// Flight returns the engine's always-on flight recorder (never nil).
+func (e *Engine) Flight() *obs.FlightRecorder { return e.cluster.Flight() }
+
+// FlightDump snapshots the flight recorder — recent cluster events and
+// retired request traces — together with the current profile.
+func (e *Engine) FlightDump() obs.Dump { return e.cluster.FlightDump() }
+
+// ChromeTrace exports the flight recorder's retired request traces as
+// Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
+func (e *Engine) ChromeTrace() []byte { return e.cluster.ChromeTrace() }
 
 // Prediction is the result of one end-to-end classification request.
 type Prediction struct {

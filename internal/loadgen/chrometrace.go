@@ -1,0 +1,42 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// FetchChromeTrace downloads the gateway's Chrome trace-event export
+// (/debug/trace) and validates it is a well-formed trace document,
+// returning the raw JSON and the number of trace events it carries. The
+// endpoint only exists when the backend exposes a flight recorder (the
+// in-process engine does); a 404 target reports an error the caller can
+// surface.
+func FetchChromeTrace(client *http.Client, base string) ([]byte, int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(base + "/debug/trace")
+	if err != nil {
+		return nil, 0, fmt.Errorf("loadgen: fetch trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("loadgen: /debug/trace: HTTP %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("loadgen: read trace: %w", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, 0, fmt.Errorf("loadgen: /debug/trace is not valid trace JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, 0, fmt.Errorf("loadgen: /debug/trace missing traceEvents array")
+	}
+	return blob, len(doc.TraceEvents), nil
+}

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestFetchChromeTrace(t *testing.T) {
+	good := `{"traceEvents":[{"ph":"X","ts":0,"dur":5,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`
+	cases := []struct {
+		name       string
+		status     int
+		body       string
+		wantEvents int
+		wantErr    string
+	}{
+		{"valid trace", http.StatusOK, good, 1, ""},
+		{"empty trace", http.StatusOK, `{"traceEvents":[]}`, 0, ""},
+		{"missing endpoint", http.StatusNotFound, "not here", 0, "HTTP 404"},
+		{"not json", http.StatusOK, "<html>", 0, "not valid trace JSON"},
+		{"missing array", http.StatusOK, `{"other":1}`, 0, "missing traceEvents"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path != "/debug/trace" {
+					t.Errorf("fetched %s, want /debug/trace", r.URL.Path)
+				}
+				w.WriteHeader(tc.status)
+				_, _ = w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+			blob, events, err := FetchChromeTrace(nil, ts.URL)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if events != tc.wantEvents {
+				t.Fatalf("%d events, want %d", events, tc.wantEvents)
+			}
+			if string(blob) != tc.body {
+				t.Fatalf("blob altered: %s", blob)
+			}
+		})
+	}
+}

@@ -235,10 +235,10 @@ func runCell(ctx context.Context, cfg GridConfig, mcfg model.Config, workers, ma
 // numbers all describe one real configuration.
 func aggregate(cells []BenchCell) BenchAggregate {
 	type acc struct {
-		n                 int
-		tokPerSec, rps    float64
-		p99MS             float64
-		label             string
+		n              int
+		tokPerSec, rps float64
+		p99MS          float64
+		label          string
 	}
 	groups := map[string]*acc{}
 	for _, c := range cells {

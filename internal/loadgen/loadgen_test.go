@@ -284,7 +284,7 @@ func TestGridEmitsBenchContract(t *testing.T) {
 func TestCheckFileRejectsMalformed(t *testing.T) {
 	dir := t.TempDir()
 	for name, body := range map[string]string{
-		"not-json.json":   "{nope",
+		"not-json.json":    "{nope",
 		"empty-cells.json": `{"schema":"voltage-load/v1","cells":[],"aggregate":{}}`,
 		"no-tok.json":      `{"schema":"voltage-load/v1","cells":[{"label":"x","summary":{"planned":1,"wall_ms":1,"interactive":{"requests":1,"ok":1,"e2e_ms":{"count":1}},"generate":{"e2e_ms":{}}}}],"aggregate":{"tokens_per_sec":0}}`,
 	} {

@@ -173,12 +173,12 @@ func summarize(cfg TraceConfig, samples []sample, wall time.Duration) *Summary {
 
 // serverSnapshot is one scrape of /v1/queue plus /metrics.
 type serverSnapshot struct {
-	shed         map[string]uint64
-	served       map[string]uint64
-	failed       map[string]uint64
-	batchSum     float64
-	batchCount   float64
-	fusedSteps   uint64
+	shed       map[string]uint64
+	served     map[string]uint64
+	failed     map[string]uint64
+	batchSum   float64
+	batchCount float64
+	fusedSteps uint64
 }
 
 // scrapeServer reads the gateway's own counters. Best-effort: a target

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats: collecting it stops the
+// world, so concurrent scrapes and the several gauges below share one
+// reading refreshed at most once per second.
+type memStatsCache struct {
+	mu    sync.Mutex
+	at    time.Time
+	stats runtime.MemStats
+}
+
+func (c *memStatsCache) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at.IsZero() || time.Since(c.at) > time.Second {
+		runtime.ReadMemStats(&c.stats)
+		c.at = time.Now()
+	}
+	return c.stats
+}
+
+// RegisterRuntime registers process-level runtime gauges on reg so load
+// runs can correlate tail latency with runtime pressure (goroutine count,
+// heap in use, GC pause time). Values are collected at scrape time;
+// registering twice on the same registry is a no-op.
+func RegisterRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	cache := &memStatsCache{}
+	reg.GaugeFunc("voltage_process_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("voltage_process_heap_inuse_bytes",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse, cached ~1s).",
+		func() float64 { return float64(cache.read().HeapInuse) })
+	reg.GaugeFunc("voltage_process_heap_objects",
+		"Live heap objects (runtime.MemStats.HeapObjects, cached ~1s).",
+		func() float64 { return float64(cache.read().HeapObjects) })
+	reg.CounterFunc("voltage_process_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(cache.read().PauseTotalNs) / 1e9 })
+	reg.CounterFunc("voltage_process_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(cache.read().NumGC) })
+}

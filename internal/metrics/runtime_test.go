@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	RegisterRuntime(reg) // idempotent
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		"voltage_process_goroutines",
+		"voltage_process_heap_inuse_bytes",
+		"voltage_process_heap_objects",
+		"voltage_process_gc_pause_seconds_total",
+		"voltage_process_gc_cycles_total",
+	} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("scrape missing %s:\n%s", name, text)
+		}
+	}
+	if g := reg.Snapshot().Gauge("voltage_process_goroutines"); g < 1 {
+		t.Errorf("goroutines gauge %v, want >= 1", g)
+	}
+}

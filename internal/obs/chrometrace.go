@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry ts+dur in microseconds; "M" metadata events
+// name processes and threads. Perfetto and chrome://tracing read it as-is.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  uint64         `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the format.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders request traces as a Chrome trace-event JSON
+// document: one "process" per request, one "thread" per device rank
+// (terminalRank shown as "terminal"), spans as "X" complete events on a
+// shared time axis. Records without spans (tracing disabled or pure
+// queue-time requests) are skipped.
+func ChromeTrace(recs []TraceRecord, terminalRank int) []byte {
+	var t0 int64 // earliest span start, unix µs
+	for _, rec := range recs {
+		if len(rec.Spans) == 0 {
+			continue
+		}
+		if us := rec.Start.UnixMicro(); t0 == 0 || us < t0 {
+			t0 = us
+		}
+	}
+	events := make([]chromeEvent, 0, 64)
+	for _, rec := range recs {
+		if len(rec.Spans) == 0 {
+			continue
+		}
+		procName := fmt.Sprintf("req %d (%s)", rec.ID, rec.Kind)
+		if rec.Err != "" {
+			procName += " FAILED"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: rec.ID,
+			Args: map[string]any{"name": procName},
+		})
+		tids := map[int]bool{}
+		base := float64(rec.Start.UnixMicro() - t0)
+		for _, sp := range rec.Spans {
+			if !tids[sp.Rank] {
+				tids[sp.Rank] = true
+				tname := fmt.Sprintf("rank %d", sp.Rank)
+				if sp.Rank == terminalRank {
+					tname = "terminal"
+				} else if sp.Rank < 0 {
+					tname = "gateway"
+				}
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", PID: rec.ID, TID: sp.Rank,
+					Args: map[string]any{"name": tname},
+				})
+			}
+			name := sp.Phase.String()
+			args := map[string]any{"phase": name}
+			if sp.Layer >= 0 {
+				name = fmt.Sprintf("%s L%d", name, sp.Layer)
+				args["layer"] = sp.Layer
+			}
+			events = append(events, chromeEvent{
+				Name: name,
+				Cat:  sp.Phase.String(),
+				Ph:   "X",
+				TS:   base + float64(sp.Offset.Microseconds()),
+				Dur:  float64(sp.Dur.Microseconds()),
+				PID:  rec.ID,
+				TID:  sp.Rank,
+				Args: args,
+			})
+		}
+	}
+	// Stable output: viewers don't require ordering, but deterministic
+	// bytes make the export diffable and testable.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].PID != events[j].PID {
+			return events[i].PID < events[j].PID
+		}
+		if (events[i].Ph == "M") != (events[j].Ph == "M") {
+			return events[i].Ph == "M"
+		}
+		return events[i].TS < events[j].TS
+	})
+	blob, err := json.Marshal(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+	if err != nil { // unreachable: all fields are marshalable
+		return []byte(`{"traceEvents":[]}`)
+	}
+	return blob
+}

@@ -1,0 +1,358 @@
+// Package obs is the continuous profiling and diagnostics layer: a rolling
+// per-rank profile store (the sensing input for adaptive re-partitioning),
+// a fused-round straggler/skew detector, an always-on flight recorder of
+// recent traces and cluster events, and a Chrome trace-event exporter so
+// per-rank timelines render directly in Perfetto / chrome://tracing.
+//
+// The package is deliberately dependency-free and cluster-agnostic: the
+// cluster feeds it raw observations (phase durations, comm bytes, fused
+// round times) and reads back snapshots. All types are safe for concurrent
+// use and nil-receiver-safe, so call sites need no guards.
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"voltage/internal/trace"
+)
+
+// Defaults for StoreOptions zero values.
+const (
+	// DefaultAlpha is the EWMA weight given to each new sample.
+	DefaultAlpha = 0.25
+	// DefaultSkewThreshold is the per-round max/mean compute-time ratio a
+	// rank must exceed to count toward straggler detection.
+	DefaultSkewThreshold = 1.5
+	// DefaultStragglerRounds is how many consecutive qualifying (or
+	// recovered) rounds flip the straggler flag on (or off).
+	DefaultStragglerRounds = 4
+
+	// maxPartialRounds bounds the number of in-flight (not yet fully
+	// reported) fused rounds the store tracks; older partials are dropped.
+	maxPartialRounds = 64
+)
+
+// StoreOptions configures a profile Store.
+type StoreOptions struct {
+	// K is the number of worker ranks; rank K is the terminal.
+	K int
+	// Alpha is the EWMA weight for new samples (0 = DefaultAlpha).
+	Alpha float64
+	// SkewThreshold and StragglerRounds tune the straggler detector
+	// (0 = DefaultSkewThreshold / DefaultStragglerRounds).
+	SkewThreshold   float64
+	StragglerRounds int
+	// OnRound fires after every completed fused round with that round's
+	// compute-time skew and the running EWMA. OnStraggler fires when a
+	// rank's persistent-straggler flag flips. Both are invoked outside the
+	// store's lock but must not block; they run on decode hot paths.
+	OnRound     func(round uint64, skew, ewma float64)
+	OnStraggler func(rank int, flagged bool)
+}
+
+// phaseEst is one rank×phase rolling estimate.
+type phaseEst struct {
+	ewma    float64 // seconds
+	total   time.Duration
+	samples uint64
+}
+
+func (e *phaseEst) observe(d time.Duration, alpha float64) {
+	s := d.Seconds()
+	if e.samples == 0 {
+		e.ewma = s
+	} else {
+		e.ewma += alpha * (s - e.ewma)
+	}
+	e.total += d
+	e.samples++
+}
+
+// partialRound collects per-rank fused-step times for one round until all
+// live ranks have reported.
+type partialRound struct {
+	round uint64
+	want  int
+	times map[int]time.Duration
+}
+
+// Store is the rolling per-rank profile: per-phase EWMA timings, scoped
+// comm bytes, fused-step estimates, and the straggler/skew detector. It is
+// the snapshot source the re-partitioning controller (ROADMAP item 2)
+// will consume.
+type Store struct {
+	opts StoreOptions
+
+	mu     sync.Mutex
+	phases [][]phaseEst // [rank][phase-1]
+	steps  []phaseEst   // per-rank fused decode step
+	sent   []int64      // comm bytes per rank
+	recv   []int64
+
+	rounds   uint64  // completed fused rounds
+	lastSkew float64 // last round's max/mean
+	skewEWMA float64
+	partial  []partialRound // in-flight rounds, oldest first
+
+	above     []int // consecutive rounds at/over threshold, per rank
+	below     []int // consecutive rounds under threshold while flagged
+	straggler []bool
+}
+
+// NewStore builds a profile store for ranks 0..K (K = terminal).
+func NewStore(opts StoreOptions) *Store {
+	if opts.Alpha <= 0 || opts.Alpha > 1 {
+		opts.Alpha = DefaultAlpha
+	}
+	if opts.SkewThreshold <= 1 {
+		opts.SkewThreshold = DefaultSkewThreshold
+	}
+	if opts.StragglerRounds <= 0 {
+		opts.StragglerRounds = DefaultStragglerRounds
+	}
+	n := opts.K + 1 // workers plus terminal
+	s := &Store{
+		opts:      opts,
+		phases:    make([][]phaseEst, n),
+		steps:     make([]phaseEst, n),
+		sent:      make([]int64, n),
+		recv:      make([]int64, n),
+		above:     make([]int, n),
+		below:     make([]int, n),
+		straggler: make([]bool, n),
+	}
+	for r := range s.phases {
+		s.phases[r] = make([]phaseEst, int(trace.PhaseRecover))
+	}
+	return s
+}
+
+// RecordPhase folds one phase duration into rank's rolling estimates.
+func (s *Store) RecordPhase(rank int, phase trace.Phase, d time.Duration) {
+	if s == nil || rank < 0 || rank >= len(s.phases) {
+		return
+	}
+	i := int(phase) - 1
+	if i < 0 || i >= int(trace.PhaseRecover) {
+		return
+	}
+	s.mu.Lock()
+	s.phases[rank][i].observe(d, s.opts.Alpha)
+	s.mu.Unlock()
+}
+
+// RecordComm adds scoped comm bytes for rank.
+func (s *Store) RecordComm(rank int, sent, recv int64) {
+	if s == nil || rank < 0 || rank >= len(s.sent) {
+		return
+	}
+	s.mu.Lock()
+	s.sent[rank] += sent
+	s.recv[rank] += recv
+	s.mu.Unlock()
+}
+
+// RecordRound reports rank's compute time for fused round `round`, which
+// `live` ranks participate in. When the last participant reports, the
+// round finalizes: skew (max/mean) is computed, per-rank step estimates
+// update, and the straggler detector advances. Rounds interleave freely —
+// a bounded set of partial rounds is kept and stale ones are dropped.
+func (s *Store) RecordRound(round uint64, rank, live int, d time.Duration) {
+	if s == nil || rank < 0 || rank >= len(s.steps) || live <= 0 {
+		return
+	}
+	var fire []func()
+	s.mu.Lock()
+	s.steps[rank].observe(d, s.opts.Alpha)
+	pi := -1
+	for i := range s.partial {
+		if s.partial[i].round == round {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		if len(s.partial) >= maxPartialRounds {
+			s.partial = s.partial[1:]
+		}
+		s.partial = append(s.partial, partialRound{round: round, want: live, times: make(map[int]time.Duration, live)})
+		pi = len(s.partial) - 1
+	}
+	p := &s.partial[pi]
+	if live < p.want {
+		p.want = live // a rank died mid-round: settle for the smaller live set
+	}
+	p.times[rank] = d
+	if len(p.times) >= p.want {
+		fire = s.finalizeLocked(p)
+		s.partial = append(s.partial[:pi], s.partial[pi+1:]...)
+	}
+	s.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+}
+
+// finalizeLocked closes one fully-reported round and returns the callbacks
+// to fire after the lock is released.
+func (s *Store) finalizeLocked(p *partialRound) []func() {
+	var max, sum time.Duration
+	for _, d := range p.times {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(sum) / float64(len(p.times))
+	if mean <= 0 {
+		return nil
+	}
+	skew := float64(max) / mean
+	s.rounds++
+	s.lastSkew = skew
+	if s.rounds == 1 {
+		s.skewEWMA = skew
+	} else {
+		s.skewEWMA += s.opts.Alpha * (skew - s.skewEWMA)
+	}
+
+	var fire []func()
+	round, ewma := p.round, s.skewEWMA
+	if f := s.opts.OnRound; f != nil {
+		fire = append(fire, func() { f(round, skew, ewma) })
+	}
+	for rank, d := range p.times {
+		ratio := float64(d) / mean
+		if ratio >= s.opts.SkewThreshold {
+			s.above[rank]++
+			s.below[rank] = 0
+			if !s.straggler[rank] && s.above[rank] >= s.opts.StragglerRounds {
+				s.straggler[rank] = true
+				if f := s.opts.OnStraggler; f != nil {
+					r := rank
+					fire = append(fire, func() { f(r, true) })
+				}
+			}
+		} else {
+			s.above[rank] = 0
+			if s.straggler[rank] {
+				s.below[rank]++
+				if s.below[rank] >= s.opts.StragglerRounds {
+					s.straggler[rank] = false
+					s.below[rank] = 0
+					if f := s.opts.OnStraggler; f != nil {
+						r := rank
+						fire = append(fire, func() { f(r, false) })
+					}
+				}
+			}
+		}
+	}
+	return fire
+}
+
+// PhaseStats is one rank×phase rolling estimate in a Profile snapshot.
+type PhaseStats struct {
+	// EWMASeconds tracks recent behavior; MeanSeconds is the lifetime mean.
+	EWMASeconds  float64 `json:"ewma_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+	Samples      uint64  `json:"samples"`
+}
+
+// RankProfile is one device's live profile.
+type RankProfile struct {
+	Rank     int  `json:"rank"`
+	Terminal bool `json:"terminal,omitempty"`
+	// Phases maps phase name ("compute", "comm", ...) to its estimates;
+	// phases never observed are omitted.
+	Phases map[string]PhaseStats `json:"phases,omitempty"`
+	// StepEWMASeconds is the rolling fused-decode-step time — the primary
+	// skew signal for re-partitioning.
+	StepEWMASeconds float64 `json:"step_ewma_seconds,omitempty"`
+	StepSamples     uint64  `json:"step_samples,omitempty"`
+	BytesSent       int64   `json:"bytes_sent,omitempty"`
+	BytesRecv       int64   `json:"bytes_recv,omitempty"`
+	// Straggler is the detector's current persistent-straggler flag.
+	Straggler bool `json:"straggler,omitempty"`
+}
+
+// Profile is a point-in-time snapshot of the store.
+type Profile struct {
+	// K is the worker count; Ranks holds K+1 entries (terminal last).
+	K int `json:"k"`
+	// Rounds counts completed fused decode rounds.
+	Rounds uint64 `json:"rounds"`
+	// Skew is the last round's max/mean compute-time ratio across live
+	// ranks; SkewEWMA is its rolling average.
+	Skew     float64       `json:"skew,omitempty"`
+	SkewEWMA float64       `json:"skew_ewma,omitempty"`
+	Ranks    []RankProfile `json:"ranks"`
+}
+
+// StepSkew is the converged skew estimate: max/mean of the per-rank fused
+// step EWMAs over worker ranks with samples. Smoother than the per-round
+// Skew and the natural input for a re-partitioning decision.
+func (p Profile) StepSkew() float64 {
+	var max, sum float64
+	n := 0
+	for _, r := range p.Ranks {
+		if r.Terminal || r.StepSamples == 0 {
+			continue
+		}
+		sum += r.StepEWMASeconds
+		if r.StepEWMASeconds > max {
+			max = r.StepEWMASeconds
+		}
+		n++
+	}
+	if n == 0 || sum <= 0 {
+		return 0
+	}
+	return max / (sum / float64(n))
+}
+
+// Profile returns a consistent snapshot of all rolling estimates.
+func (s *Store) Profile() Profile {
+	if s == nil {
+		return Profile{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := Profile{
+		K:        s.opts.K,
+		Rounds:   s.rounds,
+		Skew:     s.lastSkew,
+		SkewEWMA: s.skewEWMA,
+		Ranks:    make([]RankProfile, len(s.phases)),
+	}
+	for r := range s.phases {
+		rp := RankProfile{
+			Rank:            r,
+			Terminal:        r == s.opts.K,
+			StepEWMASeconds: s.steps[r].ewma,
+			StepSamples:     s.steps[r].samples,
+			BytesSent:       s.sent[r],
+			BytesRecv:       s.recv[r],
+			Straggler:       s.straggler[r],
+		}
+		for i := range s.phases[r] {
+			e := &s.phases[r][i]
+			if e.samples == 0 {
+				continue
+			}
+			if rp.Phases == nil {
+				rp.Phases = make(map[string]PhaseStats)
+			}
+			rp.Phases[trace.Phase(i+1).String()] = PhaseStats{
+				EWMASeconds:  e.ewma,
+				MeanSeconds:  e.total.Seconds() / float64(e.samples),
+				TotalSeconds: e.total.Seconds(),
+				Samples:      e.samples,
+			}
+		}
+		p.Ranks[r] = rp
+	}
+	return p
+}

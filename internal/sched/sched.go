@@ -134,6 +134,10 @@ type Options struct {
 	// Registry, when non-nil, receives the gateway metric families
 	// (per-class queue depth, time-in-queue, shed counts by cause).
 	Registry *metrics.Registry
+	// OnShed, when non-nil, observes every shed decision (the gateway
+	// feeds these to the flight recorder). Called under the scheduler's
+	// lock: it must be fast and must not call back into the scheduler.
+	OnShed func(class Class, cause string)
 }
 
 // Job is one unit of admitted work.
@@ -391,6 +395,9 @@ func (s *Scheduler) withdraw(it *item) bool {
 func (s *Scheduler) shedLocked(class Class, cause string) {
 	s.shed[cause]++
 	s.m.shed(class, cause)
+	if s.opts.OnShed != nil {
+		s.opts.OnShed(class, cause)
+	}
 }
 
 // next pops the job to run per the dispatch policy, blocking until one is

@@ -34,6 +34,7 @@ import (
 	"voltage/internal/core"
 	"voltage/internal/metrics"
 	"voltage/internal/model"
+	"voltage/internal/obs"
 	"voltage/internal/sched"
 	"voltage/internal/tokenizer"
 	"voltage/internal/trace"
@@ -110,6 +111,17 @@ func New(backend Backend, opts Options) (*Server, error) {
 	if opts.Sched.Registry == nil {
 		opts.Sched.Registry = opts.Registry
 	}
+	fs, _ := backend.(flightSource)
+	if opts.Sched.OnShed == nil && fs != nil {
+		// Shed decisions are diagnostics gold: route them into the engine's
+		// flight recorder so a post-incident dump shows what the gateway
+		// turned away. Eventf only appends to a ring, so it is safe under
+		// the scheduler's lock.
+		flight := fs.Flight()
+		opts.Sched.OnShed = func(class sched.Class, cause string) {
+			flight.Eventf("shed", -1, "gateway shed %s request: %s", class, cause)
+		}
+	}
 	tok, err := tokenizer.New(backend.Config().VocabSize)
 	if err != nil {
 		return nil, fmt.Errorf("server: tokenizer: %w", err)
@@ -128,7 +140,33 @@ func New(backend Backend, opts Options) (*Server, error) {
 	if opts.Registry != nil {
 		s.mux.Handle("/metrics", metrics.Handler(opts.Registry))
 	}
+	if fs != nil {
+		// Mirror the engine's debug surface on the gateway so load clients
+		// reach the flight recorder and timeline export through the same
+		// base URL they send inference to.
+		s.mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(fs.FlightDump())
+		})
+		s.mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="voltage-trace.json"`)
+			_, _ = w.Write(fs.ChromeTrace())
+		})
+	}
 	return s, nil
+}
+
+// flightSource is the optional backend capability behind the gateway's
+// /debug/flight and /debug/trace endpoints and the shed → flight-event
+// bridge. *core.Engine implements it; backends without a flight recorder
+// (e.g. a remote TCP terminal) simply lack the endpoints.
+type flightSource interface {
+	Flight() *obs.FlightRecorder
+	FlightDump() obs.Dump
+	ChromeTrace() []byte
 }
 
 // healthState folds per-rank health into the scheduler's shed signal.

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -199,9 +200,9 @@ func TestGenerateStreamsIncrementally(t *testing.T) {
 
 // fakeBackend is a controllable Backend for shed-policy tests.
 type fakeBackend struct {
-	cfg    model.Config
-	gate   chan struct{} // when non-nil, requests park here
-	enter  chan struct{} // one tick per request reaching the backend
+	cfg   model.Config
+	gate  chan struct{} // when non-nil, requests park here
+	enter chan struct{} // one tick per request reaching the backend
 
 	mu     sync.Mutex
 	health []cluster.RankHealth
@@ -704,5 +705,89 @@ func TestStatusForMapping(t *testing.T) {
 		if got := StatusFor(tc.err); got != tc.want {
 			t.Errorf("StatusFor(%v) = %d, want %d", tc.err, got, tc.want)
 		}
+	}
+}
+
+// TestDebugEndpointsAndShedEvents: a flight-recording backend surfaces its
+// debug endpoints on the gateway mux, and scheduler shed decisions land in
+// the flight recorder as events.
+func TestDebugEndpointsAndShedEvents(t *testing.T) {
+	eng, err := core.New(model.TinyDecoder(), 2, cluster.Options{TraceRequests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	var dead atomic.Bool
+	_, ts := newGateway(t, eng, Options{Sched: sched.Options{Health: func() sched.ClusterState {
+		if dead.Load() {
+			return sched.ClusterState{Dead: true}
+		}
+		return sched.ClusterState{}
+	}}})
+
+	// One successful generate so the flight recorder retires a traced
+	// request.
+	resp := postJSON(t, ts.URL+"/v1/generate", map[string]any{"prompt": []int{1, 2, 3}, "steps": 3})
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d", resp.StatusCode)
+	}
+
+	// A dead cluster sheds the next request; the shed must flow through
+	// sched.Options.OnShed into the engine's flight recorder.
+	dead.Store(true)
+	resp = postJSON(t, ts.URL+"/v1/classify", map[string]any{"tokens": []int{1, 2}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status %d, want 503", resp.StatusCode)
+	}
+
+	fresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Events []struct {
+			Kind string `json:"kind"`
+			Msg  string `json:"msg"`
+		} `json:"events"`
+	}
+	decodeInto(t, fresp, &dump)
+	var shed bool
+	for _, ev := range dump.Events {
+		if ev.Kind == "shed" && strings.Contains(ev.Msg, "degraded") {
+			shed = true
+		}
+	}
+	if !shed {
+		t.Errorf("no shed event in /debug/flight dump: %+v", dump.Events)
+	}
+
+	// The batched-generate request retires into the flight recorder shortly
+	// after its last sequence leaves; poll the trace export until its spans
+	// appear.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tresp, err := http.Get(ts.URL + "/debug/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		decodeInto(t, tresp, &doc)
+		if doc.TraceEvents == nil {
+			t.Fatal("/debug/trace missing traceEvents array")
+		}
+		if len(doc.TraceEvents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/debug/trace never produced events for the traced generate")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

@@ -146,11 +146,11 @@ func TestDecodeHostileOverflowHeader(t *testing.T) {
 	// innocent-looking value must still be rejected before any allocation —
 	// the per-dimension bounds, not the product, are the gate.
 	hostile := [][2]uint32{
-		{1 << 31, 1 << 31},              // product overflows to a small value
-		{0xFFFFFFFF, 0xFFFFFFFF},        // max dims
-		{0xFFFFFFFF, 1},                 // negative after int truncation on 32-bit
-		{1 << 29, 8},                    // single dim over the element bound
-		{3, (1 << 28) / 3 * 2},          // product over the bound, dims under
+		{1 << 31, 1 << 31},       // product overflows to a small value
+		{0xFFFFFFFF, 0xFFFFFFFF}, // max dims
+		{0xFFFFFFFF, 1},          // negative after int truncation on 32-bit
+		{1 << 29, 8},             // single dim over the element bound
+		{3, (1 << 28) / 3 * 2},   // product over the bound, dims under
 	}
 	for _, dims := range hostile {
 		var hdr [8]byte

@@ -170,6 +170,63 @@ func TestRequestTraceConcurrentAdd(t *testing.T) {
 	}
 }
 
+// TestRequestTraceConcurrentReadersAndWriters exercises every RequestTrace
+// method racing against the others — the flight recorder snapshots traces
+// (Spans) while worker goroutines are still appending to them. Run under
+// -race this is the memory-safety proof for that pattern.
+func TestRequestTraceConcurrentReadersAndWriters(t *testing.T) {
+	tr := NewRequestTrace()
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for l := 0; l < 50; l++ {
+				tr.Add(rank, l, PhaseCompute, time.Microsecond)
+				tr.AddAt(rank, l, PhaseComm, time.Duration(l)*time.Microsecond, time.Microsecond)
+			}
+		}(r)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				spans := tr.Spans()
+				for _, sp := range spans {
+					if sp.Dur != time.Microsecond {
+						t.Errorf("snapshot observed torn span: %+v", sp)
+						return
+					}
+				}
+				tr.SetID(uint64(i*100 + j))
+				_ = tr.ID()
+				_ = tr.PhaseTotals()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 300 {
+		t.Fatalf("%d spans, want 300", got)
+	}
+	// Snapshots must be isolated copies: mutating one does not corrupt the
+	// trace other readers see.
+	snap := tr.Spans()
+	snap[0].Dur = time.Hour
+	if tr.Spans()[0].Dur == time.Hour {
+		t.Fatal("Spans returned a live reference, not a copy")
+	}
+
+	// Nil traces swallow every call (the tracing-disabled path).
+	var nilTr *RequestTrace
+	nilTr.Add(0, 0, PhaseCompute, time.Microsecond)
+	nilTr.AddAt(0, 0, PhaseComm, 0, time.Microsecond)
+	nilTr.SetID(7)
+	if nilTr.Spans() != nil || nilTr.ID() != 0 {
+		t.Fatal("nil RequestTrace not inert")
+	}
+}
+
 func TestConcurrentAdd(t *testing.T) {
 	r, _ := NewRecorder(4)
 	var wg sync.WaitGroup

@@ -22,8 +22,8 @@ go build ./cmd/...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/cluster/... ./internal/comm/..."
-go test -race ./internal/cluster/... ./internal/comm/...
+echo "== go test -race ./internal/cluster/... ./internal/comm/... ./internal/trace/... ./internal/obs/..."
+go test -race ./internal/cluster/... ./internal/comm/... ./internal/trace/... ./internal/obs/...
 
 echo "== chaos: go test -race -count=2 (fault-injection suite)"
 go test -race -count=2 -run \
@@ -315,5 +315,63 @@ go run ./cmd/voltage-load -check "$LS_SUM" || {
 }
 kill "$LS_PID" 2>/dev/null || true
 wait "$LS_PID" 2>/dev/null || true
+
+echo "== obs smoke: flight recorder and Chrome trace export over a live gateway"
+# Boot a batching gateway with request tracing on, replay the seeded smoke
+# trace, then require the diagnostics surface: /debug/flight answers with
+# recorded events, and the harness downloads a Chrome trace export that
+# validates as trace JSON (-trace-out fails unless the document carries a
+# traceEvents array).
+OBS_ADDR="127.0.0.1:19160"
+OBS_LOG="$(mktemp)"
+OBS_SUM="$(mktemp)"
+OBS_TRACE="$(mktemp)"
+go run ./cmd/voltage-server -local 3 -model tiny-decoder -listen "$OBS_ADDR" \
+    -gateway-workers 8 -max-batch 8 -batch-window 2ms -trace \
+    -hold 120s -drain-timeout 5s >"$OBS_LOG" 2>&1 &
+OBS_PID=$!
+trap 'kill "$ADMIN_PID" "$GW_PID" "$BD_PID" "$BC_PID" "$LS_PID" "$OBS_PID" 2>/dev/null || true; rm -f "$ADMIN_LOG" "$GW_LOG" "$BD_LOG" "$BC_LOG" "$LS_LOG" "$LS_SUM" "$OBS_LOG" "$OBS_SUM" "$OBS_TRACE"' EXIT
+OBS_READY=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$OBS_ADDR/healthz" 2>/dev/null | grep -q '"ok":true'; then
+        OBS_READY=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$OBS_READY" ]; then
+    echo "obs smoke: gateway never became healthy" >&2
+    cat "$OBS_LOG" >&2
+    exit 1
+fi
+go run ./cmd/voltage-load -trace scripts/bench/trace-smoke.json \
+    -target "http://$OBS_ADDR" -out "$OBS_SUM" -require-served \
+    -trace-out "$OBS_TRACE" || {
+    echo "obs smoke: harness run or trace export failed" >&2
+    cat "$OBS_LOG" >&2
+    exit 1
+}
+grep -q '"traceEvents"' "$OBS_TRACE" || {
+    echo "obs smoke: exported Chrome trace missing traceEvents" >&2
+    head -c 500 "$OBS_TRACE" >&2
+    exit 1
+}
+grep -q '"ph":"X"' "$OBS_TRACE" || {
+    echo "obs smoke: exported Chrome trace carries no spans" >&2
+    head -c 500 "$OBS_TRACE" >&2
+    exit 1
+}
+OBS_FLIGHT="$(curl -fsS "http://$OBS_ADDR/debug/flight")"
+grep -q '"kind"' <<<"$OBS_FLIGHT" || {
+    echo "obs smoke: /debug/flight returned no events" >&2
+    echo "$OBS_FLIGHT" >&2
+    exit 1
+}
+grep -q '"profile"' <<<"$OBS_FLIGHT" || {
+    echo "obs smoke: /debug/flight dump missing profile" >&2
+    exit 1
+}
+kill "$OBS_PID" 2>/dev/null || true
+wait "$OBS_PID" 2>/dev/null || true
 
 echo "CI OK"
