@@ -1,0 +1,240 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"voltage/internal/obs"
+)
+
+// profileAt builds a K-worker profile with the given per-rank step EWMAs,
+// all with plenty of samples, plus the terminal entry.
+func profileAt(rounds uint64, ewmas ...float64) obs.Profile {
+	p := obs.Profile{K: len(ewmas), Rounds: rounds}
+	for r, e := range ewmas {
+		p.Ranks = append(p.Ranks, obs.RankProfile{Rank: r, StepEWMASeconds: e, StepSamples: 100})
+	}
+	p.Ranks = append(p.Ranks, obs.RankProfile{Rank: len(ewmas), Terminal: true})
+	return p
+}
+
+func even(k int) []float64 {
+	r := make([]float64, k)
+	for i := range r {
+		r[i] = 1 / float64(k)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{K: 0}); err == nil {
+		t.Fatal("want error for k=0")
+	}
+	if _, err := New(Config{K: 2, Threshold: -1}); err == nil {
+		t.Fatal("want error for negative threshold")
+	}
+	c, err := New(Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.Threshold != DefaultThreshold || c.cfg.Evals != DefaultEvals ||
+		c.cfg.Cooldown != DefaultCooldown || c.cfg.MinStepSamples != DefaultMinStepSamples {
+		t.Fatalf("defaults not resolved: %+v", c.cfg)
+	}
+}
+
+func TestEvaluateRequiresConsecutiveEvals(t *testing.T) {
+	// A 4x-slow rank under an even split predicts a big gain, but the
+	// move must wait for Evals consecutive confirmations.
+	c, err := New(Config{K: 3, Evals: 3, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	p := profileAt(10, 0.010, 0.010, 0.040)
+	for i := 1; i < 3; i++ {
+		dec, err := c.Evaluate(now, p, even(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Install {
+			t.Fatalf("installed after %d evaluations, want 3", i)
+		}
+		if dec.Streak != i {
+			t.Fatalf("streak %d after evaluation %d", dec.Streak, i)
+		}
+	}
+	dec, err := c.Evaluate(now, p, even(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Install {
+		t.Fatal("third consecutive over-threshold evaluation must install")
+	}
+	// Even split: round gated by the slow rank at (1/3)·0.04. Weighted
+	// [4/9 4/9 1/9]: every rank finishes in (4/9)·0.01 ≈ (1/9)·0.04 —
+	// a 3x improvement, gain 2/3.
+	if math.Abs(dec.PredictedGain-2.0/3) > 1e-9 {
+		t.Fatalf("predicted gain %v, want 2/3", dec.PredictedGain)
+	}
+	want := []float64{4.0 / 9, 4.0 / 9, 1.0 / 9}
+	for i := range want {
+		if math.Abs(dec.Ratios[i]-want[i]) > 1e-9 {
+			t.Fatalf("ratios %v, want %v", dec.Ratios, want)
+		}
+	}
+	if dec.Cause != CauseSkew {
+		t.Fatalf("cause %q, want %q (no straggler flagged)", dec.Cause, CauseSkew)
+	}
+}
+
+func TestEvaluateStreakResetsOnSubThresholdGain(t *testing.T) {
+	c, err := New(Config{K: 2, Evals: 2, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	skewed := profileAt(10, 0.010, 0.030)
+	balanced := profileAt(11, 0.010, 0.010)
+	if dec, _ := c.Evaluate(now, skewed, even(2)); dec.Streak != 1 {
+		t.Fatalf("streak %d, want 1", dec.Streak)
+	}
+	// The skew heals itself: the streak must reset, not carry over.
+	if dec, _ := c.Evaluate(now, balanced, even(2)); dec.Streak != 0 || dec.Install {
+		t.Fatalf("streak %d install %v after balanced round, want reset", dec.Streak, dec.Install)
+	}
+	if dec, _ := c.Evaluate(now, skewed, even(2)); dec.Install {
+		t.Fatal("single over-threshold evaluation after reset must not install")
+	}
+}
+
+func TestEvaluateCooldownBlocksBackToBackMoves(t *testing.T) {
+	c, err := New(Config{K: 2, Evals: 1, Cooldown: time.Second, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	p := profileAt(10, 0.010, 0.040)
+	dec, err := c.Evaluate(now, p, even(2))
+	if err != nil || !dec.Install {
+		t.Fatalf("first move: install=%v err=%v", dec.Install, err)
+	}
+	// Against the installed ratios the same estimates still predict a gain
+	// for any further drift — but the cooldown gates it.
+	drifted := profileAt(11, 0.010, 0.080)
+	dec, err = c.Evaluate(now.Add(500*time.Millisecond), drifted, even(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Install {
+		t.Fatal("move inside cooldown window must be held")
+	}
+	dec, err = c.Evaluate(now.Add(1100*time.Millisecond), drifted, even(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Install {
+		t.Fatal("move after cooldown expiry must install")
+	}
+}
+
+func TestEvaluateNoMoveWhenBalanced(t *testing.T) {
+	c, err := New(Config{K: 3, Evals: 1, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	p := profileAt(10, 0.010, 0.0102, 0.0099)
+	for i := 0; i < 5; i++ {
+		dec, err := c.Evaluate(now, p, even(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Install {
+			t.Fatalf("installed on a balanced cluster (gain %v)", dec.PredictedGain)
+		}
+	}
+}
+
+func TestEvaluateColdStartNoEvidence(t *testing.T) {
+	// Thin samples (below MinStepSamples) must not move the partition.
+	c, err := New(Config{K: 2, Evals: 1, MinStepSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profileAt(2, 0.010, 0.040)
+	for i := range p.Ranks {
+		p.Ranks[i].StepSamples = 2
+	}
+	dec, err := c.Evaluate(time.Unix(0, 0), p, even(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Install || dec.Streak != 0 || dec.PredictedGain != 0 {
+		t.Fatalf("decision %+v on no evidence, want inert", dec)
+	}
+}
+
+func TestEvaluateStragglerCause(t *testing.T) {
+	c, err := New(Config{K: 2, Evals: 1, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profileAt(10, 0.010, 0.040)
+	p.Ranks[1].Straggler = true
+	dec, err := c.Evaluate(time.Unix(0, 0), p, even(2))
+	if err != nil || !dec.Install {
+		t.Fatalf("install=%v err=%v", dec.Install, err)
+	}
+	if dec.Cause != CauseStraggler {
+		t.Fatalf("cause %q, want %q", dec.Cause, CauseStraggler)
+	}
+}
+
+func TestEvaluateRealizedGainSettlesAfterMove(t *testing.T) {
+	c, err := New(Config{K: 2, Evals: 1, MinStepSamples: 4, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	p := profileAt(10, 0.010, 0.030)
+	dec, err := c.Evaluate(now, p, even(2))
+	if err != nil || !dec.Install {
+		t.Fatalf("install=%v err=%v", dec.Install, err)
+	}
+	predicted := dec.PredictedGain
+	// Not enough fresh rounds yet: the move must not settle.
+	dec, err = c.Evaluate(now, profileAt(12, 0.010, 0.030), even(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Realized != nil {
+		t.Fatal("move settled before MinStepSamples fresh rounds")
+	}
+	// After 4 more rounds with the estimates unchanged, realized gain
+	// should match the prediction (same d, same ratio comparison).
+	dec, err = c.Evaluate(now, profileAt(14, 0.010, 0.030), even(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Realized == nil {
+		t.Fatal("move did not settle")
+	}
+	if dec.Realized.PredictedGain != predicted {
+		t.Fatalf("settled predicted %v, want %v", dec.Realized.PredictedGain, predicted)
+	}
+	if math.Abs(dec.Realized.RealizedGain-predicted) > 1e-9 {
+		t.Fatalf("realized %v, want %v under unchanged estimates", dec.Realized.RealizedGain, predicted)
+	}
+	if c.pending != nil {
+		t.Fatal("pending move must clear once settled")
+	}
+}
+
+func TestEvaluateCurrentLengthCheck(t *testing.T) {
+	c, _ := New(Config{K: 3})
+	if _, err := c.Evaluate(time.Unix(0, 0), profileAt(1, 0.01, 0.01, 0.01), even(2)); err == nil {
+		t.Fatal("want error for ratio/K mismatch")
+	}
+}

@@ -77,29 +77,49 @@ func (t *Tracker) PerPosition() []float64 {
 }
 
 // Scheme derives the speed-proportional partition scheme: device r's ratio
-// ∝ 1/perPos[r]. Devices without observations are assigned the mean speed
-// of the observed ones; with no observations at all the scheme is even.
+// ∝ 1/perPos[r]. Devices without observations are imputed the mean
+// seconds-per-position of the observed ones — imputing mean *speed* (the
+// old behaviour) skews the ratios toward the fast devices whenever the
+// observed set is itself skewed, because 1/mean(perPos) ≠ mean(1/perPos).
+// With no observations at all the scheme is even.
 func (t *Tracker) Scheme() (*partition.Scheme, error) {
+	est := t.Imputed()
+	if est == nil {
+		return partition.Even(t.k)
+	}
 	speeds := make([]float64, t.k)
+	for r, pp := range est {
+		speeds[r] = 1 / pp
+	}
+	return partition.Weighted(speeds)
+}
+
+// Imputed returns the per-device seconds-per-position estimates with
+// unobserved devices filled in at the mean of the observed ones, or nil
+// when nothing has been observed yet. It is what Scheme derives ratios
+// from, exposed so a controller can predict round times under the same
+// estimates.
+func (t *Tracker) Imputed() []float64 {
 	var sum float64
 	var seen int
-	for r, pp := range t.perPos {
+	for _, pp := range t.perPos {
 		if pp > 0 {
-			speeds[r] = 1 / pp
-			sum += speeds[r]
+			sum += pp
 			seen++
 		}
 	}
 	if seen == 0 {
-		return partition.Even(t.k)
+		return nil
 	}
 	mean := sum / float64(seen)
-	for r := range speeds {
-		if speeds[r] == 0 {
-			speeds[r] = mean
+	est := make([]float64, t.k)
+	for r, pp := range t.perPos {
+		if pp <= 0 {
+			pp = mean
 		}
+		est[r] = pp
 	}
-	return partition.Weighted(speeds)
+	return est
 }
 
 // EncodeObservation serializes one device's seconds-per-position for the

@@ -79,7 +79,8 @@ func TestUpdateSkipsNonObservations(t *testing.T) {
 	if pp[1] != 0 {
 		t.Fatalf("non-observations should not update: %v", pp)
 	}
-	// Unknown device gets mean speed → even split with one observed peer.
+	// Unknown device gets the mean observed seconds-per-position → even
+	// split with one observed peer.
 	s, err := tr.Scheme()
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +88,30 @@ func TestUpdateSkipsNonObservations(t *testing.T) {
 	r := s.Ratios()
 	if math.Abs(r[0]-0.5) > 1e-9 {
 		t.Fatalf("unknown device ratio %v", r)
+	}
+}
+
+func TestSchemeColdStartImputesMeanPerPosition(t *testing.T) {
+	// Regression: an unobserved rank must be treated as the mean observed
+	// seconds-per-position, not the mean observed *speed*. With devices at
+	// 1 ms and 3 ms per position the mean perPos is 2 ms → speeds
+	// [1000, 333.3, 500] → ratios ∝ [6, 2, 3]. Mean-speed imputation would
+	// hand the unobserved rank 666.7 (ratios ∝ [3, 1, 2]), over-slicing it
+	// by a third before it has done any work.
+	tr, _ := NewTracker(3, 1)
+	if err := tr.Update([]float64{0.001, 0.003, 0}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.Scheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Ratios()
+	want := []float64{6.0 / 11, 2.0 / 11, 3.0 / 11}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-9 {
+			t.Fatalf("ratios %v, want %v", r, want)
+		}
 	}
 }
 

@@ -1,0 +1,30 @@
+package balance
+
+import "voltage/internal/obs"
+
+// FeedProfile folds an obs.Profile snapshot into the tracker: each worker
+// rank's fused-decode-step EWMA becomes one seconds-per-position
+// observation. The fused step runs the same replicated math on every
+// worker, so step time measures each device's speed on identical work —
+// it is each rank's seconds-per-unit-compute up to a common constant,
+// which Weighted normalizes away. Ranks with fewer than minSamples step
+// samples (or none) are skipped and keep their previous estimate; the
+// terminal never contributes. Returns how many ranks contributed.
+func FeedProfile(t *Tracker, p obs.Profile, minSamples uint64) (int, error) {
+	times := make([]float64, t.k)
+	n := 0
+	for _, r := range p.Ranks {
+		if r.Terminal || r.Rank < 0 || r.Rank >= t.k {
+			continue
+		}
+		if r.StepSamples < minSamples || r.StepEWMASeconds <= 0 {
+			continue
+		}
+		times[r.Rank] = r.StepEWMASeconds
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return n, t.Update(times)
+}

@@ -1,0 +1,73 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"voltage/internal/obs"
+)
+
+// profileWith builds a K=3 profile snapshot with the given per-worker step
+// EWMAs and sample counts (terminal appended with no step samples).
+func profileWith(ewmas []float64, samples []uint64) obs.Profile {
+	p := obs.Profile{K: len(ewmas)}
+	for r := range ewmas {
+		p.Ranks = append(p.Ranks, obs.RankProfile{
+			Rank: r, StepEWMASeconds: ewmas[r], StepSamples: samples[r],
+		})
+	}
+	p.Ranks = append(p.Ranks, obs.RankProfile{Rank: len(ewmas), Terminal: true})
+	return p
+}
+
+func TestFeedProfileUpdatesTracker(t *testing.T) {
+	tr, _ := NewTracker(3, 1)
+	p := profileWith([]float64{0.010, 0.010, 0.040}, []uint64{8, 8, 8})
+	n, err := FeedProfile(tr, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("fed %d ranks, want 3", n)
+	}
+	s, err := tr.Scheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speeds ∝ [1/0.01, 1/0.01, 1/0.04] → ratios [4/9, 4/9, 1/9]: the 4x
+	// slower rank gets a quarter of a fast rank's positions.
+	r := s.Ratios()
+	want := []float64{4.0 / 9, 4.0 / 9, 1.0 / 9}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-9 {
+			t.Fatalf("ratios %v, want %v", r, want)
+		}
+	}
+}
+
+func TestFeedProfileSkipsThinAndTerminalRanks(t *testing.T) {
+	tr, _ := NewTracker(2, 1)
+	// Rank 1 has too few samples; the terminal must never contribute.
+	p := profileWith([]float64{0.010, 0.020}, []uint64{8, 2})
+	p.Ranks[2].StepEWMASeconds = 0.5
+	p.Ranks[2].StepSamples = 100
+	n, err := FeedProfile(tr, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("fed %d ranks, want 1", n)
+	}
+	pp := tr.PerPosition()
+	if pp[0] != 0.010 || pp[1] != 0 {
+		t.Fatalf("perPos %v, want [0.01 0]", pp)
+	}
+}
+
+func TestFeedProfileEmptySnapshot(t *testing.T) {
+	tr, _ := NewTracker(2, 1)
+	n, err := FeedProfile(tr, obs.Profile{}, 1)
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v, want 0 ranks and no error", n, err)
+	}
+}

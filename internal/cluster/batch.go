@@ -96,9 +96,13 @@ type batchSeq struct {
 	// Fault-recovery state. attempts counts batch rounds this sequence was
 	// dispatched into (prefilled or re-prefilled); parkedAt is non-zero
 	// while the sequence sits in pending after surviving a batch fault,
-	// waiting to resume from its committed tokens.
-	attempts int
-	parkedAt time.Time
+	// waiting to resume from its committed tokens. adaptPark marks a park
+	// caused by a partition-scheme migration rather than a fault: the
+	// resume then costs no retry budget and counts as a migration, not a
+	// recovery.
+	attempts  int
+	parkedAt  time.Time
+	adaptPark bool
 
 	err  error
 	done chan struct{}
@@ -207,7 +211,7 @@ func (b *batcher) run() {
 		if !b.purgeCanceled() {
 			return // nothing pending or live: the run retired
 		}
-		live, scheme, degraded, perr := b.plan()
+		live, scheme, gen, degraded, perr := b.plan()
 		if perr != nil {
 			b.failPending(perr)
 			return
@@ -234,7 +238,7 @@ func (b *batcher) run() {
 		// attributed per-rank errors blame voting needs.
 		req := &request{
 			runner: batchRunner{b}, supervised: true, noTimeout: true,
-			live: live, scheme: scheme, degraded: degraded,
+			live: live, scheme: scheme, schemeGen: gen, degraded: degraded,
 			fenced: c.opts.MaxRetries > 0,
 		}
 		// Scopes are pre-created so the terminal can snapshot every rank's
@@ -339,27 +343,31 @@ func (b *batcher) purgeCanceled() bool {
 	return !idle
 }
 
-// plan picks the worker set for the next batch round. With fault tolerance
-// off, every round runs the full mesh (nil live set). Otherwise the health
-// tracker decides between a full round, a degraded round re-sliced over the
-// survivors, and — empty live set — terminal-local fallback.
-func (b *batcher) plan() (live []int, scheme *partition.Scheme, degraded bool, err error) {
+// plan picks the worker set and partition scheme for the next batch round.
+// With fault tolerance off, every round runs the full mesh (nil live set).
+// Otherwise the health tracker decides between a full round, a degraded
+// round re-sliced over the survivors, and — empty live set — terminal-local
+// fallback. Full rounds pin the installed adaptive scheme and its
+// generation, so the terminal loop can migrate at a step boundary when the
+// controller installs a newer one.
+func (b *batcher) plan() (live []int, scheme *partition.Scheme, gen uint64, degraded bool, err error) {
 	c := b.c
+	cur, curGen := c.schemeSnapshot()
 	if c.opts.MaxRetries == 0 {
-		return nil, nil, false, nil
+		return nil, cur, curGen, false, nil
 	}
 	hl := c.health.live(time.Now())
 	if len(hl) == c.k {
-		return nil, nil, false, nil
+		return nil, cur, curGen, false, nil
 	}
 	if len(hl) == 0 {
-		return []int{}, nil, true, nil
+		return []int{}, nil, curGen, true, nil
 	}
 	s, err := c.degradedScheme(hl)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, curGen, false, err
 	}
-	return hl, s, true, nil
+	return hl, s, curGen, true, nil
 }
 
 // failPending resolves every pending sequence with a planning error and
@@ -454,7 +462,15 @@ func (b *batcher) fallbackSeq(s *batchSeq) {
 	if !s.parkedAt.IsZero() {
 		s.trace.Add(c.terminalRank(), -1, trace.PhaseRecover, time.Since(s.parkedAt))
 		c.metrics.phase(trace.PhaseRecover, time.Since(s.parkedAt))
-		c.metrics.batchSeqResumed()
+		if s.adaptPark {
+			// Migration-parked, but the mesh died before the new scheme
+			// could host it: the local resume is a migration, not a fault
+			// recovery.
+			s.adaptPark = false
+			c.metrics.batchSeqMigrated()
+		} else {
+			c.metrics.batchSeqResumed()
+		}
 		s.parkedAt = time.Time{}
 	}
 	s.res.Degraded = true
@@ -553,6 +569,38 @@ func (b *batcher) terminal(ctx context.Context, p comm.Peer, ex *comm.Exchange, 
 	}
 	first := true
 	for {
+		// Migration boundary: when the adaptive controller installed a new
+		// scheme since this round was planned, retire the round here — a
+		// step boundary, where no partition math is in flight — park every
+		// live sequence, and release the workers with clean shutdown
+		// frames. The run loop re-plans under the new scheme and resumes
+		// each sequence by re-prefilling its committed prefix, so the
+		// migration is invisible in the token streams. Degraded rounds are
+		// exempt: the health path owns their re-planning, and its next
+		// full-strength round picks the new scheme up anyway.
+		if !req.degraded {
+			if _, gen := c.schemeSnapshot(); gen != req.schemeGen {
+				var parked []*batchSeq
+				for _, s := range live {
+					if cerr := s.ctx.Err(); cerr != nil {
+						b.leaveLocked(req, s, cerr)
+						continue
+					}
+					ps := b.park(req, s)
+					ps.adaptPark = true
+					parked = append(parked, ps)
+				}
+				b.requeue(parked)
+				live = nil
+				c.flight.Eventf("repartition", -1, "batch migrating to scheme generation %d: %d sequences parked for re-prefill", gen, len(parked))
+				for _, r := range ranks {
+					if err := p.Send(ctx, r, []byte{}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
 		// Join boundary. The first take is unconditional so a generate
 		// burst is never starved; afterwards joins pause while other
 		// requests wait in the admission queue, so the exclusive fence
@@ -693,12 +741,22 @@ func (b *batcher) join(ctx context.Context, p comm.Peer, ex *comm.Exchange, req 
 		b.leaveLocked(req, s, err)
 		return false, nil
 	}
-	s.attempts++
-	if resuming {
+	if resuming && s.adaptPark {
+		// Re-prefill forced by a scheme migration, not a fault: it costs
+		// no retry budget (attempts unchanged) and counts as a migration.
+		s.adaptPark = false
 		s.trace.Add(c.terminalRank(), -1, trace.PhaseRecover, time.Since(s.parkedAt))
 		c.metrics.phase(trace.PhaseRecover, time.Since(s.parkedAt))
-		c.metrics.batchSeqResumed()
+		c.metrics.batchSeqMigrated()
 		s.parkedAt = time.Time{}
+	} else {
+		s.attempts++
+		if resuming {
+			s.trace.Add(c.terminalRank(), -1, trace.PhaseRecover, time.Since(s.parkedAt))
+			c.metrics.phase(trace.PhaseRecover, time.Since(s.parkedAt))
+			c.metrics.batchSeqResumed()
+			s.parkedAt = time.Time{}
+		}
 	}
 	s.joinStats = make([]comm.Stats, len(req.scopes))
 	for r, sc := range req.scopes {

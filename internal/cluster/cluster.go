@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"voltage/internal/adapt"
 	"voltage/internal/balance"
 	"voltage/internal/comm"
 	"voltage/internal/metrics"
@@ -210,6 +211,36 @@ type Options struct {
 	// limited to one dump per 30s. voltage-server wires stderr; the library
 	// default is off so fault-injection tests stay quiet.
 	FlightSink io.Writer
+
+	// Adaptive re-partitioning (see DESIGN.md "Adaptive re-partitioning").
+	// The controller closes the loop the profile store opened: it watches
+	// per-rank fused-step EWMAs and the straggler flags, derives a
+	// speed-proportional candidate scheme, and installs it at a safe
+	// boundary when the predicted round-time improvement clears the
+	// hysteresis guards. Outputs stay bit-identical across installs.
+
+	// Adapt starts the re-partitioning controller loop.
+	Adapt bool
+	// AdaptInterval is the controller's evaluation period (default 50ms).
+	AdaptInterval time.Duration
+	// AdaptThreshold is the minimum predicted fractional round-time
+	// improvement required to count an evaluation toward a move
+	// (default 0.10 — a candidate must promise rounds at most 90% as long).
+	AdaptThreshold float64
+	// AdaptEvals is how many consecutive over-threshold evaluations arm a
+	// move (default 3), and AdaptCooldown the minimum spacing between
+	// installed schemes (default 2s).
+	AdaptEvals    int
+	AdaptCooldown time.Duration
+
+	// Chaos: deterministic slow-rank fault injection (tests/CI), mirroring
+	// the -chaos-kill-* flags. With ChaosSlowFactor > 1, worker
+	// ChaosSlowRank's emulated compute rate is divided by the factor — a
+	// throttled device the adaptation loop should detect and re-slice
+	// around. Requires pacing (DeviceFlops or HeteroDeviceFlops) so there
+	// is a rate to throttle; ChaosSlowFactor 0 disables the injector.
+	ChaosSlowRank   int
+	ChaosSlowFactor float64
 }
 
 // Cluster is an in-process emulation of a terminal device plus K workers.
@@ -224,9 +255,19 @@ type Cluster struct {
 	peers  []comm.Peer     // mesh wrapped with fault injection, framing, watchdog
 	models []*model.Model
 	shards [][]*tparallel.ShardedLayer
-	scheme *partition.Scheme
 	opts   Options
 	health *healthTracker
+
+	// The serving partition scheme. It starts as Options.Scheme (or even)
+	// and is swapped by InstallScheme — the adaptive controller's actuator
+	// — at safe boundaries only: requests pin the scheme at submit, batch
+	// rounds pin it at plan, and the fused decode loop migrates to a newer
+	// generation at its next step boundary. schemeGen counts installs so
+	// readers can detect staleness without comparing ratio vectors.
+	schemeMu  sync.RWMutex
+	scheme    *partition.Scheme
+	schemeGen uint64
+	adaptCtl  *adapt.Controller // nil unless Options.Adapt
 
 	// Observability. metrics is nil under Options.NoMetrics — every
 	// clusterMetrics method is nil-receiver-safe, so record sites need no
@@ -291,6 +332,20 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 	if opts.MaxBatch < 0 || opts.BatchWindow < 0 {
 		return nil, fmt.Errorf("cluster: negative batching knob (max batch %d, window %s)",
 			opts.MaxBatch, opts.BatchWindow)
+	}
+	if opts.AdaptInterval < 0 {
+		return nil, fmt.Errorf("cluster: negative adapt interval %s", opts.AdaptInterval)
+	}
+	if opts.ChaosSlowFactor != 0 {
+		if opts.ChaosSlowFactor <= 1 {
+			return nil, fmt.Errorf("cluster: chaos slow factor %v must exceed 1", opts.ChaosSlowFactor)
+		}
+		if opts.ChaosSlowRank < 0 || opts.ChaosSlowRank >= k {
+			return nil, fmt.Errorf("cluster: chaos slow rank %d outside [0,%d)", opts.ChaosSlowRank, k)
+		}
+		if opts.DeviceFlops <= 0 && opts.HeteroDeviceFlops == nil {
+			return nil, fmt.Errorf("cluster: chaos slow rank needs pacing (DeviceFlops or HeteroDeviceFlops)")
+		}
 	}
 	mesh, err := comm.NewMemMesh(k+1, opts.Profile)
 	if err != nil {
@@ -378,6 +433,22 @@ func NewMem(cfg model.Config, k int, opts Options) (*Cluster, error) {
 		c.pool = &tensor.MatrixPool{}
 	}
 	c.serveCtx, c.serveCancel = context.WithCancel(context.Background())
+	cm.setPartitionRatios(scheme.Ratios())
+	if opts.Adapt {
+		ctl, err := adapt.New(adapt.Config{
+			K:         k,
+			Threshold: opts.AdaptThreshold,
+			Evals:     opts.AdaptEvals,
+			Cooldown:  opts.AdaptCooldown,
+		})
+		if err != nil {
+			c.serveCancel()
+			_ = peers[0].Close()
+			return nil, err
+		}
+		c.adaptCtl = ctl
+		go c.adaptLoop()
+	}
 	if opts.AdminAddr != "" {
 		admin, err := metrics.StartAdmin(opts.AdminAddr, cm.registry(), c.healthCheck,
 			metrics.Endpoint{Path: "/debug/flight", Handler: c.flightHandler()},
@@ -614,11 +685,18 @@ func (c *Cluster) rebalance(ctx context.Context, group comm.Peer, tracker *balan
 }
 
 // deviceRate returns worker rank's emulated compute rate (0 = unpaced).
+// The chaos slow-rank injector throttles one rank deterministically by
+// dividing its rate — every paced interval on that rank stretches by the
+// factor, exactly what a thermally-limited or contended edge device does.
 func (c *Cluster) deviceRate(rank int) float64 {
+	rate := c.opts.DeviceFlops
 	if rank >= 0 && rank < len(c.opts.HeteroDeviceFlops) {
-		return c.opts.HeteroDeviceFlops[rank]
+		rate = c.opts.HeteroDeviceFlops[rank]
 	}
-	return c.opts.DeviceFlops
+	if c.opts.ChaosSlowFactor > 1 && rank == c.opts.ChaosSlowRank {
+		rate /= c.opts.ChaosSlowFactor
+	}
+	return rate
 }
 
 // pace sleeps until the emulated compute duration flops/DeviceFlops has

@@ -79,6 +79,18 @@ type clusterMetrics struct {
 	seqsFailed  *metrics.Counter
 	seqsResumed *metrics.Counter
 
+	// Adaptive re-partitioning: installed moves by controller cause, the
+	// currently serving per-rank ratios, the promised vs. measured
+	// round-time improvement per move, and sequences re-prefilled to
+	// migrate a live batch onto a new scheme.
+	repartStraggler *metrics.Counter
+	repartSkew      *metrics.Counter
+	repartManual    *metrics.Counter
+	partitionRatio  []*metrics.Gauge
+	gainPredicted   *metrics.Histogram
+	gainRealized    *metrics.Histogram
+	seqsMigrated    *metrics.Counter
+
 	queueLen *metrics.Gauge
 	inflight *metrics.Gauge
 
@@ -204,6 +216,24 @@ func newClusterMetrics(k int) *clusterMetrics {
 		"Co-batched sequences resolved with a fault error — the blast radius actually paid.")
 	m.seqsResumed = reg.Counter("voltage_batch_seqs_resumed_total",
 		"Co-batched sequences parked across a batch fault and requeued for resumption — the blast radius avoided.")
+
+	reparts := reg.CounterVec("voltage_repartitions_total",
+		"Partition schemes installed by the adaptive controller, by cause.", "cause")
+	m.repartStraggler = reparts.With("straggler")
+	m.repartSkew = reparts.With("skew")
+	m.repartManual = reparts.With("manual")
+	ratioVec := reg.GaugeVec("voltage_partition_ratio",
+		"Currently installed partition ratio per worker rank (fraction of sequence positions).", "rank")
+	m.partitionRatio = make([]*metrics.Gauge, k)
+	for r := 0; r < k; r++ {
+		m.partitionRatio[r] = ratioVec.With(rankLabel(r, k))
+	}
+	m.gainPredicted = reg.Histogram("voltage_repartition_predicted_gain",
+		"Fractional round-time improvement the controller predicted at each install.", gainBuckets)
+	m.gainRealized = reg.Histogram("voltage_repartition_realized_gain",
+		"Fractional improvement measured after each move settled (negative = the move hurt).", gainBuckets)
+	m.seqsMigrated = reg.Counter("voltage_batch_migrations_total",
+		"Live sequences parked and re-prefilled to migrate onto a newly installed scheme.")
 
 	m.queueLen = reg.Gauge("voltage_queue_length",
 		"Requests currently waiting in the admission queue.")
@@ -423,6 +453,57 @@ func (m *clusterMetrics) batchSeqResumed() {
 		return
 	}
 	m.seqsResumed.Inc()
+}
+
+// batchSeqMigrated counts a sequence re-prefilled across a scheme install.
+func (m *clusterMetrics) batchSeqMigrated() {
+	if m == nil {
+		return
+	}
+	m.seqsMigrated.Inc()
+}
+
+// gainBuckets resolve the predicted/realized improvement histograms:
+// fractions of round time, negatives included so regressions register.
+var gainBuckets = []float64{-0.25, -0.1, -0.05, 0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75}
+
+// setPartitionRatios mirrors the installed scheme into the per-rank
+// ratio gauges.
+func (m *clusterMetrics) setPartitionRatios(ratios []float64) {
+	if m == nil {
+		return
+	}
+	for r, g := range m.partitionRatio {
+		if r < len(ratios) {
+			g.Set(ratios[r])
+		}
+	}
+}
+
+// repartition records one installed scheme: the cause counter, the new
+// ratio gauges, and the predicted improvement.
+func (m *clusterMetrics) repartition(cause string, ratios []float64, predicted float64) {
+	if m == nil {
+		return
+	}
+	switch cause {
+	case "straggler":
+		m.repartStraggler.Inc()
+	case "skew":
+		m.repartSkew.Inc()
+	default:
+		m.repartManual.Inc()
+	}
+	m.setPartitionRatios(ratios)
+	m.gainPredicted.Observe(predicted)
+}
+
+// observeRealizedGain records a settled move's measured improvement.
+func (m *clusterMetrics) observeRealizedGain(gain float64) {
+	if m == nil {
+		return
+	}
+	m.gainRealized.Observe(gain)
 }
 
 // observeBatchWait records how long a sequence waited to join a batch.

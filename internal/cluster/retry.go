@@ -131,9 +131,26 @@ func (c *Cluster) submitAttempt(ctx context.Context, strategy Strategy, x *tenso
 }
 
 // degradedScheme re-partitions the sequence positions over the surviving
-// ranks: proportional to their configured compute rates on heterogeneous
-// clusters, uniform otherwise.
+// ranks. Once the adaptive controller has installed a weighted scheme, a
+// failure re-slice keeps the survivors' learned relative shares — the
+// observed speeds are better evidence than the configured rates. Before
+// any install, survivors weight by their configured compute rates on
+// heterogeneous clusters, uniformly otherwise.
 func (c *Cluster) degradedScheme(live []int) (*partition.Scheme, error) {
+	if ratios, gen := c.adaptedRatios(); gen > 0 {
+		weights := make([]float64, len(live))
+		var sum float64
+		for i, r := range live {
+			weights[i] = ratios[r]
+			sum += ratios[r]
+		}
+		// A survivor set whose installed shares are all zero (possible when
+		// every survivor was squeezed out by the last install) falls through
+		// to the static weighting below.
+		if sum > 0 {
+			return partition.Weighted(weights)
+		}
+	}
 	if c.opts.HeteroDeviceFlops != nil {
 		weights := make([]float64, len(live))
 		for i, r := range live {
@@ -142,6 +159,14 @@ func (c *Cluster) degradedScheme(live []int) (*partition.Scheme, error) {
 		return partition.Weighted(weights)
 	}
 	return partition.Even(len(live))
+}
+
+// adaptedRatios returns the installed scheme's ratio vector and its
+// generation (0 = never re-partitioned).
+func (c *Cluster) adaptedRatios() ([]float64, uint64) {
+	c.schemeMu.RLock()
+	defer c.schemeMu.RUnlock()
+	return c.scheme.Ratios(), c.schemeGen
 }
 
 // localFallback serves a request on the terminal alone when no worker

@@ -94,6 +94,10 @@ type request struct {
 	attempts int
 	degraded bool
 	fenced   bool
+	// schemeGen is the scheme generation a batch round was planned under;
+	// the fused decode loop migrates at a step boundary when the installed
+	// generation moves past it (see adapt.go).
+	schemeGen uint64
 	// supervised attempts are counted as requests by their supervisor, not
 	// by collect (which counts each as an attempt only).
 	supervised bool
@@ -161,13 +165,15 @@ func (req *request) liveIndex(c *Cluster, rank int) int {
 	return -1
 }
 
-// partitionScheme returns the scheme partitioning this request's positions
-// (the cluster's, unless a degraded attempt re-sliced over survivors).
+// partitionScheme returns the scheme partitioning this request's positions.
+// submit pins the installed scheme on every request (and degraded attempts
+// re-slice their own), so the fallback read only covers requests built
+// outside the submit path.
 func (req *request) partitionScheme(c *Cluster) *partition.Scheme {
 	if req.scheme != nil {
 		return req.scheme
 	}
-	return c.scheme
+	return c.currentScheme()
 }
 
 // abort releases the other roles of a failed request. Fenced attempts
@@ -279,6 +285,13 @@ func (c *Cluster) Submit(ctx context.Context, strategy Strategy, x *tensor.Matri
 // submit finalizes the request's bookkeeping and enqueues it.
 func (c *Cluster) submit(ctx context.Context, req *request) (*Pending, error) {
 	c.Serve()
+	if req.scheme == nil {
+		// Pin the installed scheme for the request's whole lifetime: every
+		// rank partitions identically, and an adaptive install mid-flight
+		// only affects work admitted after it (the between-requests safe
+		// boundary). Degraded attempts arrive with their own re-slice.
+		req.scheme, req.schemeGen = c.schemeSnapshot()
+	}
 	req.id = c.nextID.Add(1)
 	if c.opts.TraceRequests {
 		req.trace = trace.NewRequestTrace()

@@ -22,8 +22,8 @@ go build ./cmd/...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/cluster/... ./internal/comm/... ./internal/trace/... ./internal/obs/..."
-go test -race ./internal/cluster/... ./internal/comm/... ./internal/trace/... ./internal/obs/...
+echo "== go test -race ./internal/cluster/... ./internal/comm/... ./internal/trace/... ./internal/obs/... ./internal/adapt/... ./internal/balance/..."
+go test -race ./internal/cluster/... ./internal/comm/... ./internal/trace/... ./internal/obs/... ./internal/adapt/... ./internal/balance/...
 
 echo "== chaos: go test -race -count=2 (fault-injection suite)"
 go test -race -count=2 -run \
@@ -373,5 +373,76 @@ grep -q '"profile"' <<<"$OBS_FLIGHT" || {
 }
 kill "$OBS_PID" 2>/dev/null || true
 wait "$OBS_PID" 2>/dev/null || true
+
+echo "== adapt smoke: controller re-slices the partition around a throttled rank"
+# Boot a paced 3-worker engine with rank 2 throttled 4x and the adaptive
+# controller on a fast evaluation cadence, drive two rounds of concurrent
+# generates so the fused-step profile sees the skew, then require the loop
+# to have closed: voltage_repartitions_total moved and the slow rank's
+# installed partition share shrank well below its even third.
+AD_ADDR="127.0.0.1:19161"
+AD_LOG="$(mktemp)"
+go run ./cmd/voltage-server -local 3 -model tiny-decoder -listen "$AD_ADDR" \
+    -gateway-workers 8 -max-batch 8 -batch-window 2ms \
+    -device-flops 4e6 -chaos-slow-rank 2 -chaos-slow-factor 4 \
+    -adapt -adapt-interval 25ms -adapt-evals 2 -adapt-cooldown 250ms \
+    -hold 120s -drain-timeout 5s >"$AD_LOG" 2>&1 &
+AD_PID=$!
+trap 'kill "$ADMIN_PID" "$GW_PID" "$BD_PID" "$BC_PID" "$LS_PID" "$OBS_PID" "$AD_PID" 2>/dev/null || true; rm -f "$ADMIN_LOG" "$GW_LOG" "$BD_LOG" "$BC_LOG" "$LS_LOG" "$LS_SUM" "$OBS_LOG" "$OBS_SUM" "$OBS_TRACE" "$AD_LOG"' EXIT
+AD_READY=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$AD_ADDR/healthz" 2>/dev/null | grep -q '"ok":true'; then
+        AD_READY=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$AD_READY" ]; then
+    echo "adapt smoke: gateway never became healthy" >&2
+    cat "$AD_LOG" >&2
+    exit 1
+fi
+for _ in 1 2; do
+    (
+        for i in 1 2 3 4; do
+            curl -sN -X POST "http://$AD_ADDR/v1/generate" \
+                -d "{\"prompt\":[$i,$((i+3)),$((i+7))],\"steps\":12}" >/dev/null &
+        done
+        wait
+    )
+done
+# The controller keeps evaluating the stored profile after the burst
+# drains; poll for the install.
+AD_METRICS=""
+for _ in $(seq 1 100); do
+    AD_METRICS="$(curl -fsS "http://$AD_ADDR/metrics")"
+    if awk '
+        /^voltage_repartitions_total\{/ { moved += $2 }
+        END { exit !(moved >= 1) }' <<<"$AD_METRICS"; then
+        break
+    fi
+    AD_METRICS=""
+    sleep 0.3
+done
+if [ -z "$AD_METRICS" ]; then
+    echo "adapt smoke: voltage_repartitions_total never moved" >&2
+    curl -fsS "http://$AD_ADDR/metrics" | grep -E 'repartition|partition_ratio' >&2 || true
+    cat "$AD_LOG" >&2
+    exit 1
+fi
+awk '
+    /^voltage_partition_ratio\{rank="2"\} / { ratio = $2; seen = 1 }
+    END {
+        if (!seen || ratio >= 0.3) {
+            printf "adapt smoke: slow rank partition share %.3f, want < 0.3\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }' <<<"$AD_METRICS"
+grep -qF 'voltage_batch_migrations_total' <<<"$AD_METRICS" || {
+    echo "adapt smoke: /metrics missing voltage_batch_migrations_total" >&2
+    exit 1
+}
+kill "$AD_PID" 2>/dev/null || true
+wait "$AD_PID" 2>/dev/null || true
 
 echo "CI OK"
